@@ -1,0 +1,113 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section and writes the text reports to stdout and (optionally)
+// a results directory.
+//
+// Usage:
+//
+//	paperbench                      # all figures, full configuration
+//	paperbench -fig 12              # one figure
+//	paperbench -quick               # scaled-down fast configuration
+//	paperbench -workloads fdtd2d,bfs
+//	paperbench -out results/        # also write one file per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"shmgpu/internal/experiments"
+	"shmgpu/internal/gpu"
+	"shmgpu/internal/report"
+	"shmgpu/internal/scheme"
+	"shmgpu/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure/table to regenerate: 5, 10, 11, 12, 13, 14, 15, 16, vii, ix, summary, all")
+		quick     = flag.Bool("quick", false, "use the scaled-down fast configuration")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the 15 memory-intensive ones)")
+		out       = flag.String("out", "", "directory to write per-figure text reports to")
+	)
+	flag.Parse()
+
+	cfg := gpu.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	var wls []string
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			w = strings.TrimSpace(w)
+			if _, err := workload.ByName(w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			wls = append(wls, w)
+		}
+	}
+	r := experiments.NewRunner(cfg, wls)
+
+	type genFn func() *report.Table
+	gens := []struct {
+		id       string
+		name     string
+		fn       genFn
+		prefetch []scheme.Scheme
+		accuracy bool
+		extra    bool // excluded from -fig all (expensive ablations)
+	}{
+		{"5", "fig05_characterization", r.Fig5, []scheme.Scheme{scheme.SHMUpperBound}, false, false},
+		{"10", "fig10_readonly_prediction", r.Fig10, nil, true, false},
+		{"11", "fig11_streaming_prediction", r.Fig11, nil, true, false},
+		{"12", "fig12_normalized_ipc", r.Fig12, []scheme.Scheme{scheme.Baseline, scheme.Naive, scheme.CommonCtr, scheme.PSSM, scheme.SHM, scheme.SHMUpperBound}, false, false},
+		{"13", "fig13_optimization_breakdown", r.Fig13, []scheme.Scheme{scheme.Baseline, scheme.PSSM, scheme.PSSMCtr, scheme.SHMReadOnly, scheme.SHM, scheme.SHMCctr}, false, false},
+		{"14", "fig14_bandwidth_overhead", r.Fig14, []scheme.Scheme{scheme.Naive, scheme.PSSM, scheme.SHMReadOnly, scheme.SHM}, false, false},
+		{"15", "fig15_energy", r.Fig15, []scheme.Scheme{scheme.Baseline, scheme.Naive, scheme.CommonCtr, scheme.PSSM, scheme.SHM}, false, false},
+		{"16", "fig16_victim_cache", r.Fig16, []scheme.Scheme{scheme.Baseline, scheme.SHM, scheme.SHMvL2}, false, false},
+		{"vii", "table07_bandwidth_utilization", r.TableVII, []scheme.Scheme{scheme.Baseline}, false, false},
+		{"ix", "table09_hardware_overhead", experiments.TableIX, nil, false, false},
+		{"summary", "summary_headline", r.Summary, []scheme.Scheme{scheme.Baseline, scheme.Naive, scheme.CommonCtr, scheme.PSSM, scheme.SHM, scheme.SHMUpperBound}, false, false},
+		{"ablation-trackers", "ablation_trackers", r.AblationTrackers, []scheme.Scheme{scheme.Baseline}, false, true},
+		{"ablation-lead", "ablation_monitor_lead", r.AblationMonitorLead, []scheme.Scheme{scheme.Baseline}, false, true},
+		{"ablation-timeout", "ablation_timeout", r.AblationTimeout, []scheme.Scheme{scheme.Baseline}, false, true},
+		{"ablation-mdc", "ablation_mdc_size", r.AblationMDCSize, []scheme.Scheme{scheme.Baseline}, false, true},
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, g := range gens {
+		if *fig == "all" && g.extra {
+			continue
+		}
+		if *fig != "all" && *fig != g.id {
+			continue
+		}
+		start := time.Now()
+		if len(g.prefetch) > 0 {
+			r.Prefetch(g.prefetch, false)
+		}
+		if g.accuracy {
+			r.Prefetch([]scheme.Scheme{scheme.SHM}, true)
+		}
+		table := g.fn()
+		text := table.String()
+		fmt.Println(text)
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			path := filepath.Join(*out, g.name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

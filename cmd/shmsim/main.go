@@ -1,0 +1,115 @@
+// Command shmsim runs one workload under one secure-memory design and
+// prints detailed statistics: IPC (absolute and normalized), per-class DRAM
+// traffic, cache behaviour, detector events, and predictor accuracy.
+//
+// Usage:
+//
+//	shmsim -workload fdtd2d -scheme SHM
+//	shmsim -workload bfs -scheme Naive -quick
+//	shmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shmgpu"
+	"shmgpu/internal/report"
+	"shmgpu/internal/scheme"
+	"shmgpu/internal/stats"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "fdtd2d", "benchmark name (see -list)")
+		sch      = flag.String("scheme", "SHM", "secure-memory design (see -list)")
+		quick    = flag.Bool("quick", false, "use the scaled-down fast configuration")
+		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+		accuracy = flag.Bool("accuracy", false, "also report predictor accuracy (slower)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Workloads (paper Table VII):")
+		for _, w := range shmgpu.Workloads() {
+			fmt.Printf("  %s\n", w)
+		}
+		fmt.Println("\nSchemes (paper Table VIII):")
+		for _, s := range shmgpu.Schemes() {
+			desc, _ := shmgpu.SchemeDescription(s)
+			fmt.Printf("  %-16s %s\n", s, desc)
+		}
+		return
+	}
+
+	cfg := shmgpu.DefaultConfig()
+	if *quick {
+		cfg = shmgpu.QuickConfig()
+	}
+
+	base, err := shmgpu.Run(cfg, *wl, "Baseline")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var res shmgpu.Result
+	if *accuracy {
+		schObj, err2 := scheme.ByName(*sch)
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, err2)
+			os.Exit(2)
+		}
+		res = shmgpu.NewRunner(cfg, []string{*wl}).RunWithAccuracy(*wl, schObj)
+	} else {
+		res, err = shmgpu.Run(cfg, *wl, *sch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("workload=%s scheme=%s\n\n", *wl, *sch)
+	t := report.NewTable("Performance", "metric", "value")
+	t.AddRow("cycles", res.Cycles)
+	t.AddRow("instructions", res.Instructions)
+	t.AddRow("IPC", res.IPC())
+	t.AddRow("baseline IPC", base.IPC())
+	if base.IPC() > 0 {
+		t.AddRow("normalized IPC", res.IPC()/base.IPC())
+		t.AddRow("performance overhead", report.Percent(1-res.IPC()/base.IPC()))
+	}
+	t.AddRow("DRAM bus utilization", report.Percent(res.BusUtilization))
+	t.AddRow("run completed", res.Completed)
+	fmt.Println(t)
+
+	tr := report.NewTable("DRAM traffic", "class", "read bytes", "write bytes")
+	for c := stats.TrafficClass(0); c < stats.TrafficClass(stats.NumTrafficClasses); c++ {
+		tr.AddRow(c.String(), res.Traffic.ReadBytes[c], res.Traffic.WriteBytes[c])
+	}
+	tr.AddRow("metadata overhead", report.Percent(res.BandwidthOverhead()), "")
+	fmt.Println(tr)
+
+	cc := report.NewTable("Caches", "cache", "accesses", "miss rate")
+	cc.AddRow("L1 (all SMs)", res.L1.Accesses(), report.Percent(res.L1.MissRate()))
+	cc.AddRow("L2 (all banks)", res.L2.Accesses(), report.Percent(res.L2.MissRate()))
+	cc.AddRow("counter MDC", res.Ctr.Accesses(), report.Percent(res.Ctr.MissRate()))
+	cc.AddRow("MAC MDC", res.MAC.Accesses(), report.Percent(res.MAC.MissRate()))
+	cc.AddRow("BMT MDC", res.BMT.Accesses(), report.Percent(res.BMT.MissRate()))
+	fmt.Println(cc)
+
+	if names := res.Reg.Names(); len(names) > 0 {
+		ev := report.NewTable("MEE events", "event", "count")
+		for _, n := range names {
+			ev.AddRow(n, res.Reg.Get(n))
+		}
+		fmt.Println(ev)
+	}
+
+	if *accuracy {
+		acc := report.NewTable("Predictor accuracy", "predictor", "predictions", "accuracy")
+		acc.AddRow("read-only", res.ROAccuracy.Total(), report.Percent(res.ROAccuracy.Accuracy()))
+		acc.AddRow("streaming", res.StreamAccuracy.Total(), report.Percent(res.StreamAccuracy.Accuracy()))
+		fmt.Println(acc)
+	}
+}

@@ -1,0 +1,123 @@
+// Command tracegen records the off-chip access trace of one simulated
+// workload and replays recorded traces through differently-configured
+// streaming detectors — the offline design-space exploration loop for the
+// paper's detector parameters.
+//
+// Record:
+//
+//	tracegen -workload fdtd2d -out fdtd2d.trace -quick
+//
+// Replay with a parameter sweep:
+//
+//	tracegen -replay fdtd2d.trace -trackers 4 -timeout 3000 -lead 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shmgpu"
+	"shmgpu/internal/detectors"
+	"shmgpu/internal/gpu"
+	"shmgpu/internal/report"
+	"shmgpu/internal/scheme"
+	"shmgpu/internal/trace"
+	"shmgpu/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "fdtd2d", "benchmark to trace")
+		schName  = flag.String("scheme", "SHM", "design to run while tracing")
+		out      = flag.String("out", "", "record: trace output path")
+		quick    = flag.Bool("quick", false, "use the scaled-down configuration")
+		replay   = flag.String("replay", "", "replay: trace input path")
+		trackers = flag.Int("trackers", 8, "replay: memory access trackers per partition")
+		timeout  = flag.Uint64("timeout", 6000, "replay: monitoring-phase idle timeout (cycles)")
+		lead     = flag.Uint64("lead", 4, "replay: monitor-ahead distance (chunks)")
+	)
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		if err := doReplay(*replay, *trackers, *timeout, *lead); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *out != "":
+		if err := record(*wl, *schName, *out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -out to record or -replay to replay (see -h)")
+		os.Exit(2)
+	}
+}
+
+func record(wl, schName, out string, quick bool) error {
+	bench, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	sch, err := scheme.ByName(schName)
+	if err != nil {
+		return err
+	}
+	cfg := gpu.DefaultConfig()
+	if quick {
+		cfg = shmgpu.QuickConfig()
+	}
+	sys := gpu.NewSystem(cfg, sch.Options)
+	rec := trace.NewRecorder()
+	for p := 0; p < cfg.Partitions; p++ {
+		sys.MEE(p).SetTrace(rec.Observer(p))
+	}
+	res := sys.Run(bench)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := rec.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events from %s/%s (%d cycles) to %s\n",
+		rec.Len(), wl, schName, res.Cycles, out)
+	return nil
+}
+
+func doReplay(path string, trackers int, timeout, lead uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	cfg := detectors.DefaultStreamingConfig()
+	cfg.Trackers = trackers
+	cfg.TimeoutCycles = timeout
+	cfg.MonitorLead = lead
+	maxPart := 0
+	for _, e := range events {
+		if int(e.Partition) > maxPart {
+			maxPart = int(e.Partition)
+		}
+	}
+	res := trace.Replay(events, cfg, maxPart+1)
+
+	t := report.NewTable(fmt.Sprintf("Replay of %s (trackers=%d timeout=%d lead=%d)", path, trackers, timeout, lead),
+		"metric", "value")
+	t.AddRow("events", res.Events)
+	t.AddRow("detected streaming", res.DetectedStream)
+	t.AddRow("detected random", res.DetectedRandom)
+	t.AddRow("timeouts", res.Timeouts)
+	t.AddRow("prediction accuracy", report.Percent(res.Accuracy.Accuracy()))
+	fmt.Println(t)
+	return nil
+}

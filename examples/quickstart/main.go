@@ -1,0 +1,38 @@
+// Quickstart: simulate one GPU workload under the paper's SHM design and
+// under the insecure baseline, then report the performance overhead and
+// the security-metadata bandwidth overhead — the paper's two headline
+// metrics — for a single benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shmgpu"
+)
+
+func main() {
+	cfg := shmgpu.QuickConfig() // scaled-down GPU for a fast first run
+
+	const workload = "fdtd2d" // the paper's streaming showcase benchmark
+
+	base, err := shmgpu.Run(cfg, workload, "Baseline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shm, err := shmgpu.Run(cfg, workload, "SHM")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", workload)
+	fmt.Printf("baseline IPC:        %.3f\n", base.IPC())
+	fmt.Printf("SHM IPC:             %.3f\n", shm.IPC())
+	fmt.Printf("normalized IPC:      %.3f\n", shm.IPC()/base.IPC())
+	fmt.Printf("performance overhead %.2f%%\n", 100*(1-shm.IPC()/base.IPC()))
+	fmt.Printf("bandwidth overhead:  %.2f%% of data traffic is security metadata\n",
+		100*shm.BandwidthOverhead())
+	fmt.Println()
+	fmt.Println("available workloads:", shmgpu.Workloads())
+	fmt.Println("available schemes:  ", shmgpu.Schemes())
+}

@@ -1,0 +1,3 @@
+module shmgpu
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package bmt implements a functional Bonsai Merkle Tree: the integrity
+// tree that provides the freshness guarantee for encryption counters.
+// Following Rogers et al., the tree covers ONLY the counter region (data
+// freshness then follows from stateful MACs that bind data to counters).
+//
+// Tree nodes live in the same attacker-visible backing store as data and
+// counters; only the root hash is held on chip. Verification walks from a
+// counter block's leaf up to the root and therefore detects any replay of
+// counter state, even when the attacker consistently replays entire
+// subtrees. This package is the functional ground truth used by the
+// securemem library and by the attack-demonstration examples; the timing
+// simulator models the same walks via metadata.Layout without hashing.
+package bmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"shmgpu/internal/cryptoengine"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/metadata"
+)
+
+// ErrVerify is wrapped by all verification failures so callers can test
+// with errors.Is.
+var ErrVerify = errors.New("bmt: integrity verification failed")
+
+// Backing is the byte store the tree reads and writes its nodes and the
+// counter blocks from. It is the attacker-visible "off-chip memory".
+type Backing interface {
+	// ReadRaw copies len(buf) bytes at addr into buf.
+	ReadRaw(addr memdef.Addr, buf []byte)
+	// WriteRaw copies buf into the store at addr.
+	WriteRaw(addr memdef.Addr, buf []byte)
+}
+
+// CounterBlockBytes is the serialized size of a counter block in backing
+// storage (the full 128 B block: 8 B major + 64 minors + padding).
+const CounterBlockBytes = metadata.CounterBlockSize
+
+// EncodeCounterBlock serializes a counter block into a 128 B buffer.
+func EncodeCounterBlock(cb *metadata.CounterBlock, buf []byte) {
+	if len(buf) < CounterBlockBytes {
+		panic("bmt: short counter block buffer")
+	}
+	binary.LittleEndian.PutUint64(buf[0:8], cb.Major)
+	copy(buf[8:8+metadata.MinorsPerCounterBlock], cb.Minors[:])
+	for i := 8 + metadata.MinorsPerCounterBlock; i < CounterBlockBytes; i++ {
+		buf[i] = 0
+	}
+}
+
+// DecodeCounterBlock deserializes a counter block from a 128 B buffer.
+func DecodeCounterBlock(buf []byte, cb *metadata.CounterBlock) {
+	if len(buf) < CounterBlockBytes {
+		panic("bmt: short counter block buffer")
+	}
+	cb.Major = binary.LittleEndian.Uint64(buf[0:8])
+	copy(cb.Minors[:], buf[8:8+metadata.MinorsPerCounterBlock])
+}
+
+// Tree is one partition's integrity tree. The zero value is unusable;
+// construct with New and call Rebuild before first use.
+type Tree struct {
+	layout    *metadata.Layout
+	eng       *cryptoengine.Engine
+	partition uint8
+	backing   Backing
+	root      uint64
+	built     bool
+}
+
+// New creates a tree over the given layout and backing store.
+func New(layout *metadata.Layout, eng *cryptoengine.Engine, partition uint8, backing Backing) *Tree {
+	return &Tree{layout: layout, eng: eng, partition: partition, backing: backing}
+}
+
+// Root returns the on-chip root hash.
+func (t *Tree) Root() uint64 { return t.root }
+
+// Rebuild recomputes every tree node from the counter blocks currently in
+// the backing store, writes the nodes back, and installs the root. Called
+// at context initialization and after bulk counter rewrites.
+func (t *Tree) Rebuild() {
+	levels := t.layout.BMTLevels()
+	if levels == 0 {
+		// Degenerate tiny layout: root hashes the single counter block.
+		var buf [CounterBlockBytes]byte
+		addr := t.layout.CounterBlockAddr(0)
+		t.backing.ReadRaw(addr, buf[:])
+		t.root = t.eng.NodeHash(addr, t.partition, buf[:])
+		t.built = true
+		return
+	}
+	// Level 0: hash counter blocks into leaf nodes.
+	var child [memdef.BlockSize]byte
+	var node [memdef.BlockSize]byte
+	n := t.layout.NumCounterBlocks()
+	for idx := uint64(0); idx < t.layout.BMTNodesAt(0); idx++ {
+		for i := range node {
+			node[i] = 0
+		}
+		for slot := 0; slot < metadata.BMTArity; slot++ {
+			cb := idx*metadata.BMTArity + uint64(slot)
+			if cb >= n {
+				break
+			}
+			addr := t.layout.CounterBlockAddr(cb)
+			t.backing.ReadRaw(addr, child[:])
+			h := t.eng.NodeHash(addr, t.partition, child[:])
+			binary.LittleEndian.PutUint64(node[slot*metadata.HashSize:], h)
+		}
+		t.backing.WriteRaw(t.layout.BMTNodeAddr(0, idx), node[:])
+	}
+	// Upper levels: hash level l-1 nodes into level l nodes.
+	for level := 1; level < levels; level++ {
+		for idx := uint64(0); idx < t.layout.BMTNodesAt(level); idx++ {
+			for i := range node {
+				node[i] = 0
+			}
+			for slot := 0; slot < metadata.BMTArity; slot++ {
+				ci := idx*metadata.BMTArity + uint64(slot)
+				if ci >= t.layout.BMTNodesAt(level-1) {
+					break
+				}
+				caddr := t.layout.BMTNodeAddr(level-1, ci)
+				t.backing.ReadRaw(caddr, child[:])
+				h := t.eng.NodeHash(caddr, t.partition, child[:])
+				binary.LittleEndian.PutUint64(node[slot*metadata.HashSize:], h)
+			}
+			t.backing.WriteRaw(t.layout.BMTNodeAddr(level, idx), node[:])
+		}
+	}
+	// Root: hash of the single top node.
+	topAddr := t.layout.BMTNodeAddr(levels-1, 0)
+	t.backing.ReadRaw(topAddr, child[:])
+	t.root = t.eng.NodeHash(topAddr, t.partition, child[:])
+	t.built = true
+}
+
+// Verify checks counter block cb against the tree and the on-chip root.
+// It returns a wrapped ErrVerify describing the first mismatching level if
+// the counter state in the backing store has been tampered with or
+// replayed.
+func (t *Tree) Verify(cb uint64) error {
+	if !t.built {
+		return fmt.Errorf("%w: tree not built", ErrVerify)
+	}
+	var buf [memdef.BlockSize]byte
+	addr := t.layout.CounterBlockAddr(cb)
+	t.backing.ReadRaw(addr, buf[:])
+	h := t.eng.NodeHash(addr, t.partition, buf[:])
+
+	path, slots := t.layout.BMTPathForCounter(cb)
+	if len(path) == 0 {
+		if h != t.root {
+			return fmt.Errorf("%w: counter block %d does not match root", ErrVerify, cb)
+		}
+		return nil
+	}
+	var node [memdef.BlockSize]byte
+	for i, nodeAddr := range path {
+		t.backing.ReadRaw(nodeAddr, node[:])
+		stored := binary.LittleEndian.Uint64(node[slots[i]*metadata.HashSize:])
+		if stored != h {
+			return fmt.Errorf("%w: counter block %d mismatch at tree level %d", ErrVerify, cb, i)
+		}
+		h = t.eng.NodeHash(nodeAddr, t.partition, node[:])
+	}
+	if h != t.root {
+		return fmt.Errorf("%w: counter block %d root mismatch", ErrVerify, cb)
+	}
+	return nil
+}
+
+// Update re-hashes counter block cb from the backing store and propagates
+// the change up to the root, writing updated nodes back. Must be called
+// after every counter block write (the write-path root update).
+func (t *Tree) Update(cb uint64) {
+	if !t.built {
+		panic("bmt: Update before Rebuild")
+	}
+	var buf [memdef.BlockSize]byte
+	addr := t.layout.CounterBlockAddr(cb)
+	t.backing.ReadRaw(addr, buf[:])
+	h := t.eng.NodeHash(addr, t.partition, buf[:])
+
+	path, slots := t.layout.BMTPathForCounter(cb)
+	if len(path) == 0 {
+		t.root = h
+		return
+	}
+	var node [memdef.BlockSize]byte
+	for i, nodeAddr := range path {
+		t.backing.ReadRaw(nodeAddr, node[:])
+		binary.LittleEndian.PutUint64(node[slots[i]*metadata.HashSize:], h)
+		t.backing.WriteRaw(nodeAddr, node[:])
+		h = t.eng.NodeHash(nodeAddr, t.partition, node[:])
+	}
+	t.root = h
+}

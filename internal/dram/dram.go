@@ -1,0 +1,280 @@
+// Package dram models one GDDR memory partition's DRAM channel: a bounded
+// request queue, banks with open-row state, FR-FCFS-lite scheduling, and a
+// shared data bus whose throughput is the partition's share of the GPU's
+// aggregate bandwidth (336 GB/s across 12 partitions in the paper's
+// baseline, Table V).
+//
+// All times are in GPU core cycles (1506 MHz). Bandwidth is modeled with a
+// fixed-point bus reservation: each 32 B sector transfer occupies the data
+// bus for SectorBytes/BytesPerCycle cycles, so sustained throughput
+// converges to the configured bytes-per-cycle figure regardless of request
+// mix, while row hits/misses shape latency.
+package dram
+
+import (
+	"container/heap"
+	"fmt"
+
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/stats"
+)
+
+// Config describes one DRAM channel (one memory partition).
+type Config struct {
+	// Banks is the number of DRAM banks in the partition.
+	Banks int
+	// RowBytes is the open-row (page) size per bank.
+	RowBytes int
+	// CASCycles is the column access latency for a row hit.
+	CASCycles uint64
+	// RowCycles is the additional precharge+activate latency on a row miss.
+	RowCycles uint64
+	// BytesPerCycleFP is the data-bus throughput in bytes per core cycle,
+	// in 1/256 fixed point (e.g. 18.59 B/cy ≈ 4759).
+	BytesPerCycleFP uint64
+	// QueueDepth is the request queue capacity.
+	QueueDepth int
+}
+
+// DefaultConfig returns the paper's baseline partition channel:
+// 336 GB/s / 12 partitions at 1506 MHz core clock = 18.59 B/cycle.
+func DefaultConfig() Config {
+	return Config{
+		Banks:           16,
+		RowBytes:        2048,
+		CASCycles:       40,
+		RowCycles:       80,
+		BytesPerCycleFP: 4759, // 18.59 B/cycle * 256
+		QueueDepth:      64,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("dram: banks %d must be a positive power of two", c.Banks)
+	}
+	if c.RowBytes <= 0 || c.RowBytes%memdef.PartitionStride != 0 {
+		return fmt.Errorf("dram: row bytes %d must be a positive multiple of the partition stride", c.RowBytes)
+	}
+	if c.BytesPerCycleFP == 0 {
+		return fmt.Errorf("dram: bus throughput must be positive")
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("dram: queue depth must be positive")
+	}
+	return nil
+}
+
+// Req is one 32 B sector request to the channel.
+type Req struct {
+	// Local is the partition-local sector address.
+	Local memdef.Addr
+	// Kind is Read or Write.
+	Kind memdef.AccessKind
+	// Class labels the bytes for bandwidth accounting.
+	Class stats.TrafficClass
+	// Token is an opaque caller identifier returned on completion.
+	Token uint64
+}
+
+type pendingReq struct {
+	Req
+	arrival uint64
+	bank    int
+	row     uint64
+}
+
+type completion struct {
+	req   Req
+	cycle uint64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+type bank struct {
+	openRow  uint64
+	hasRow   bool
+	freeAt   uint64
+	rowHits  uint64
+	rowMisss uint64
+}
+
+// Channel is one memory partition's DRAM channel.
+type Channel struct {
+	cfg       Config
+	queue     []pendingReq
+	banks     []bank
+	busFreeFP uint64 // fixed-point cycle (×256) when the data bus frees
+	completed completionHeap
+
+	// Traffic accounts every byte moved, by class and direction.
+	Traffic stats.Traffic
+	// ReadsServed and WritesServed count completed sector requests.
+	ReadsServed, WritesServed uint64
+	// BusyCycles approximates cycles in which the bus was transferring.
+	busyFP uint64
+}
+
+// NewChannel builds a channel, panicking on invalid configuration.
+func NewChannel(cfg Config) *Channel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Channel{
+		cfg:   cfg,
+		banks: make([]bank, cfg.Banks),
+	}
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// CanAccept reports whether Enqueue would succeed.
+func (ch *Channel) CanAccept() bool { return len(ch.queue) < ch.cfg.QueueDepth }
+
+// QueueLen returns the number of queued (not yet issued) requests.
+func (ch *Channel) QueueLen() int { return len(ch.queue) }
+
+// Pending returns queued plus in-flight (issued, not yet completed) requests.
+func (ch *Channel) Pending() int { return len(ch.queue) + len(ch.completed) }
+
+// Enqueue adds a sector request at cycle now. It returns false when the
+// queue is full (the caller must retry; this is the back-pressure that
+// creates bandwidth contention upstream).
+func (ch *Channel) Enqueue(r Req, now uint64) bool {
+	if !ch.CanAccept() {
+		return false
+	}
+	slice := uint64(r.Local) / memdef.PartitionStride
+	b := int(slice % uint64(ch.cfg.Banks))
+	slicesPerRow := uint64(ch.cfg.RowBytes / memdef.PartitionStride)
+	row := (slice / uint64(ch.cfg.Banks)) / slicesPerRow
+	ch.queue = append(ch.queue, pendingReq{Req: r, arrival: now, bank: b, row: row})
+	return true
+}
+
+// Tick advances the channel to cycle now: issues eligible requests (FR-FCFS:
+// oldest row hit first, else oldest) and returns requests whose data
+// transfer completed at or before now. Call once per cycle with a
+// monotonically non-decreasing now.
+func (ch *Channel) Tick(now uint64) []Req {
+	// Issue as long as a request can start this cycle. Several issues per
+	// cycle are allowed; the bus reservation serializes actual transfers.
+	for len(ch.queue) > 0 {
+		idx := ch.pickNext(now)
+		if idx < 0 {
+			break // every queued request's bank is busy
+		}
+		p := ch.queue[idx]
+		bk := &ch.banks[p.bank]
+		// Column accesses to an open row are pipelined: they add CAS
+		// latency but do not occupy the bank. A row miss additionally
+		// occupies the bank for the precharge+activate time.
+		var rowLat uint64
+		if bk.hasRow && bk.openRow == p.row {
+			rowLat = ch.cfg.CASCycles
+			bk.rowHits++
+		} else {
+			rowLat = ch.cfg.CASCycles + ch.cfg.RowCycles
+			bk.freeAt = now + ch.cfg.RowCycles
+			bk.rowMisss++
+		}
+		bk.openRow = p.row
+		bk.hasRow = true
+
+		transferFP := uint64(memdef.SectorSize) * 256 * 256 / ch.cfg.BytesPerCycleFP
+		readyFP := (now + rowLat) * 256
+		startFP := readyFP
+		if ch.busFreeFP > startFP {
+			startFP = ch.busFreeFP
+		}
+		ch.busFreeFP = startFP + transferFP
+		ch.busyFP += transferFP
+		doneCycle := (startFP + transferFP + 255) / 256
+
+		heap.Push(&ch.completed, completion{req: p.Req, cycle: doneCycle})
+		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+
+		if p.Kind == memdef.Read {
+			ch.Traffic.AddRead(p.Class, memdef.SectorSize)
+		} else {
+			ch.Traffic.AddWrite(p.Class, memdef.SectorSize)
+		}
+	}
+
+	var done []Req
+	for len(ch.completed) > 0 && ch.completed[0].cycle <= now {
+		c := heap.Pop(&ch.completed).(completion)
+		if c.req.Kind == memdef.Read {
+			ch.ReadsServed++
+		} else {
+			ch.WritesServed++
+		}
+		done = append(done, c.req)
+	}
+	return done
+}
+
+// pickNext implements FR-FCFS-lite over requests whose bank is free at
+// cycle now: the oldest row hit wins; otherwise the oldest such request.
+// It returns -1 when every queued request targets a busy bank.
+func (ch *Channel) pickNext(now uint64) int {
+	bestHit, bestAny := -1, -1
+	for i := range ch.queue {
+		p := &ch.queue[i]
+		bk := &ch.banks[p.bank]
+		if bk.freeAt > now {
+			continue
+		}
+		if bk.hasRow && bk.openRow == p.row {
+			if bestHit < 0 || p.arrival < ch.queue[bestHit].arrival {
+				bestHit = i
+			}
+		}
+		if bestAny < 0 || p.arrival < ch.queue[bestAny].arrival {
+			bestAny = i
+		}
+	}
+	if bestHit >= 0 {
+		return bestHit
+	}
+	return bestAny
+}
+
+// Drained reports whether no requests are queued or in flight.
+func (ch *Channel) Drained() bool { return len(ch.queue) == 0 && len(ch.completed) == 0 }
+
+// RowHitRate returns the fraction of issued requests that hit an open row.
+func (ch *Channel) RowHitRate() float64 {
+	var hits, total uint64
+	for i := range ch.banks {
+		hits += ch.banks[i].rowHits
+		total += ch.banks[i].rowHits + ch.banks[i].rowMisss
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// BusUtilization returns the fraction of cycles [0,now] the data bus was
+// transferring.
+func (ch *Channel) BusUtilization(now uint64) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(ch.busyFP) / float64(now*256)
+}

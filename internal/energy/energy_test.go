@@ -1,0 +1,72 @@
+package energy
+
+import "testing"
+
+func TestTotalPicojoules(t *testing.T) {
+	m := Model{
+		PicojoulePerInstruction: 1,
+		PicojoulePerDRAMByte:    2,
+		PicojoulePerL2Access:    3,
+		PicojoulePerL1Access:    4,
+		PicojoulePerMDCAccess:   5,
+		StaticPicojoulePerCycle: 6,
+	}
+	a := Activity{Instructions: 1, DRAMBytes: 1, L2Accesses: 1, L1Accesses: 1, MDCAccesses: 1, Cycles: 1}
+	if got := m.TotalPicojoules(a); got != 21 {
+		t.Fatalf("total = %v, want 21", got)
+	}
+}
+
+func TestPerInstruction(t *testing.T) {
+	m := Default()
+	a := Activity{Instructions: 100, Cycles: 10, DRAMBytes: 1000}
+	want := m.TotalPicojoules(a) / 100
+	if got := m.PerInstruction(a); got != want {
+		t.Fatalf("per-instruction = %v, want %v", got, want)
+	}
+	if got := m.PerInstruction(Activity{}); got != 0 {
+		t.Fatalf("empty activity = %v, want 0", got)
+	}
+}
+
+func TestNormalizedMetadataCostsMore(t *testing.T) {
+	// Same instructions, more DRAM bytes (metadata) => normalized > 1,
+	// the Fig. 15 relationship.
+	m := Default()
+	base := Activity{Instructions: 1_000_000, Cycles: 100_000, DRAMBytes: 10_000_000, L2Accesses: 500_000}
+	secure := base
+	secure.DRAMBytes = 25_000_000 // naive-style metadata blowup
+	secure.MDCAccesses = 800_000
+	secure.Cycles = 160_000 // slower too
+	n := m.Normalized(secure, base)
+	if n <= 1.0 {
+		t.Fatalf("normalized energy = %v, want > 1", n)
+	}
+	if n > 3.5 {
+		t.Fatalf("normalized energy = %v, implausibly high", n)
+	}
+}
+
+func TestNormalizedZeroBaseline(t *testing.T) {
+	if got := Default().Normalized(Activity{Instructions: 1}, Activity{}); got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+}
+
+func TestDefaultsArePositive(t *testing.T) {
+	m := Default()
+	for name, v := range map[string]float64{
+		"instr": m.PicojoulePerInstruction, "dram": m.PicojoulePerDRAMByte,
+		"l2": m.PicojoulePerL2Access, "l1": m.PicojoulePerL1Access,
+		"mdc": m.PicojoulePerMDCAccess, "static": m.StaticPicojoulePerCycle,
+	} {
+		if v <= 0 {
+			t.Errorf("%s constant not positive", name)
+		}
+	}
+	// DRAM must dominate SRAM per byte-ish access, the relationship the
+	// paper's energy savings rest on.
+	if m.PicojoulePerDRAMByte*32 <= m.PicojoulePerMDCAccess {
+		t.Error("DRAM sector access must cost more than an MDC access")
+	}
+}

@@ -1,0 +1,121 @@
+// Package gpu wires the full simulated GPU together: streaming
+// multiprocessors (SMs) with warp schedulers and sectored L1 caches, a
+// crossbar to the memory partitions, two sectored L2 banks per partition,
+// the per-partition memory encryption engines (secmem.MEE), and the GDDR
+// channels (dram.Channel). It owns the cycle loop and produces the
+// simulation results (IPC, traffic, cache stats, predictor accuracy) that
+// the experiment harness turns into the paper's figures.
+//
+// The model is a trace-generating, cycle-driven simulator in the spirit of
+// GPGPU-Sim's memory-system modeling: warps issue one instruction per cycle
+// when ready, block on memory uses, and hide latency through multithreading;
+// bandwidth contention emerges from bounded queues at every hop.
+package gpu
+
+import (
+	"fmt"
+
+	"shmgpu/internal/dram"
+	"shmgpu/internal/secmem"
+)
+
+// Config describes the simulated GPU (paper Table V by default).
+type Config struct {
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// WarpsPerSM is the number of concurrently resident warps per SM.
+	WarpsPerSM int
+	// Partitions is the number of memory partitions (DRAM channels).
+	Partitions int
+	// L2BanksPerPartition is the number of L2 banks per partition.
+	L2BanksPerPartition int
+	// L2BankBytes is the capacity of each L2 bank.
+	L2BankBytes int
+	// L2Ways is the L2 associativity.
+	L2Ways int
+	// L2MSHRs and L2Merges configure each bank's MSHR file.
+	L2MSHRs, L2Merges int
+	// L1Bytes and L1Ways configure each SM's L1.
+	L1Bytes, L1Ways int
+	// L1MSHRs bounds outstanding L1 misses per SM.
+	L1MSHRs int
+	// L1Latency and L2Latency are hit latencies in cycles.
+	L1Latency, L2Latency uint64
+	// MaxWarpInflightSectors is the per-warp cap on outstanding load
+	// sectors: GPU warps issue independent loads non-blocking until a use
+	// (scoreboarding), so several memory instructions overlap per warp.
+	MaxWarpInflightSectors int
+	// XbarLatency is the one-way interconnect latency in cycles.
+	XbarLatency uint64
+	// DeviceMemoryBytes is the protected device memory size.
+	DeviceMemoryBytes uint64
+	// DRAM configures each partition's channel.
+	DRAM dram.Config
+	// MaxCycles bounds the simulation length per kernel (0 = unlimited).
+	MaxCycles uint64
+	// VictimMissRateThreshold enables L2-as-victim-cache when the sampled
+	// L2 data miss rate exceeds it (paper: 0.90).
+	VictimMissRateThreshold float64
+	// VictimSampleWindow is the accesses per miss-rate sampling epoch.
+	VictimSampleWindow uint64
+	// MEETune, when non-nil, adjusts each partition's MEE configuration
+	// after defaults are applied — the hook ablation studies use to sweep
+	// tracker counts, metadata-cache sizes, timeouts, etc.
+	MEETune func(*secmem.Config)
+}
+
+// DefaultConfig returns the paper's baseline GPU (Table V), with a device
+// memory sized down from 4 GB to keep simulations fast while preserving all
+// addressing behaviour (the metadata layout scales linearly).
+func DefaultConfig() Config {
+	return Config{
+		SMs:                     30,
+		WarpsPerSM:              24,
+		Partitions:              12,
+		L2BanksPerPartition:     2,
+		L2BankBytes:             128 << 10,
+		L2Ways:                  8,
+		L2MSHRs:                 192,
+		L2Merges:                16,
+		L1Bytes:                 64 << 10,
+		L1Ways:                  4,
+		L1MSHRs:                 64,
+		L1Latency:               20,
+		L2Latency:               30,
+		XbarLatency:             20,
+		MaxWarpInflightSectors:  32,
+		DeviceMemoryBytes:       768 << 20,
+		DRAM:                    dram.DefaultConfig(),
+		MaxCycles:               400_000,
+		VictimMissRateThreshold: 0.90,
+		VictimSampleWindow:      8192,
+	}
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.SMs <= 0 || c.WarpsPerSM <= 0 {
+		return fmt.Errorf("gpu: SMs and warps must be positive")
+	}
+	if c.Partitions <= 0 || c.L2BanksPerPartition <= 0 {
+		return fmt.Errorf("gpu: partitions and banks must be positive")
+	}
+	if c.DeviceMemoryBytes%uint64(c.Partitions) != 0 {
+		return fmt.Errorf("gpu: device memory %d not divisible by %d partitions", c.DeviceMemoryBytes, c.Partitions)
+	}
+	return c.DRAM.Validate()
+}
+
+// MEEOptionsToConfig builds the per-partition MEE config for the selected
+// design options.
+func (c Config) MEEOptionsToConfig(opts secmem.Options, partition int) secmem.Config {
+	protected := c.DeviceMemoryBytes / uint64(c.Partitions)
+	if !opts.LocalMetadata {
+		protected = c.DeviceMemoryBytes
+	}
+	cfg := secmem.DefaultConfig(opts, partition, c.Partitions, protected)
+	if c.MEETune != nil {
+		c.MEETune(&cfg)
+	}
+	return cfg
+}

@@ -1,0 +1,228 @@
+package gpu
+
+import (
+	"shmgpu/internal/cache"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/stats"
+)
+
+// l2Request is a sector request at the L2, carrying routing back to its SM.
+type l2Request struct {
+	req     memdef.Request
+	arrived uint64
+}
+
+// L2Bank is one sectored L2 cache bank. Misses and dirty write-backs are
+// forwarded to the partition's MEE. The bank also implements the metadata
+// victim-cache role of §IV-D: metadata sectors evicted from the MDCs can be
+// parked in the bank's data array and recalled on MDC misses, gated by a
+// sampled data miss rate.
+type L2Bank struct {
+	partition int
+	bank      int
+	cfg       *Config
+	c         *cache.Cache
+	// waiters maps a sector being fetched to the requests to answer.
+	waiters map[memdef.Addr][]memdef.Request
+	// input is the queue from the crossbar.
+	input []l2Request
+	// toMEE buffers requests the MEE could not yet accept.
+	toMEE []memdef.Request
+
+	// Miss-rate sampling for the victim-cache trigger. Data accesses only;
+	// metadata (victim) traffic is excluded, mirroring the paper's
+	// reserved sampling sets.
+	sampleAccesses uint64
+	sampleMisses   uint64
+	sampledRate    float64
+	haveSample     bool
+
+	// VictimHits/VictimPushes count victim-cache activity.
+	VictimHits, VictimPushes uint64
+}
+
+func newL2Bank(partition, bank int, cfg *Config) *L2Bank {
+	return &L2Bank{
+		partition: partition,
+		bank:      bank,
+		cfg:       cfg,
+		c: cache.New(cache.Config{
+			Name:             "l2",
+			SizeBytes:        cfg.L2BankBytes,
+			Ways:             cfg.L2Ways,
+			MSHRs:            cfg.L2MSHRs,
+			MaxMergesPerMSHR: cfg.L2Merges,
+		}),
+		waiters: map[memdef.Addr][]memdef.Request{},
+	}
+}
+
+// Stats exposes the bank's cache stats.
+func (b *L2Bank) Stats() stats.CacheStats { return b.c.Stats }
+
+// canAccept reports whether the bank can take another request.
+func (b *L2Bank) canAccept() bool { return len(b.input) < 64 }
+
+// enqueue admits a request from the crossbar.
+func (b *L2Bank) enqueue(r memdef.Request, now uint64) bool {
+	if !b.canAccept() {
+		return false
+	}
+	b.input = append(b.input, l2Request{req: r, arrived: now})
+	return true
+}
+
+// submitToMEE forwards a request to the MEE, buffering on back-pressure.
+type meePort interface {
+	SubmitRead(r memdef.Request, now uint64) bool
+	SubmitWrite(r memdef.Request, now uint64) bool
+}
+
+func (b *L2Bank) sample(miss bool) {
+	b.sampleAccesses++
+	if miss {
+		b.sampleMisses++
+	}
+	if b.sampleAccesses >= b.cfg.VictimSampleWindow {
+		b.sampledRate = float64(b.sampleMisses) / float64(b.sampleAccesses)
+		b.haveSample = true
+		b.sampleAccesses, b.sampleMisses = 0, 0
+	}
+}
+
+// resetSampling clears the sampler (kernel boundary, per the paper).
+func (b *L2Bank) resetSampling() {
+	b.sampleAccesses, b.sampleMisses = 0, 0
+	b.haveSample = false
+	b.sampledRate = 0
+}
+
+// victimActive reports whether the sampled data miss rate exceeds the
+// threshold.
+func (b *L2Bank) victimActive() bool {
+	return b.haveSample && b.sampledRate >= b.cfg.VictimMissRateThreshold
+}
+
+// tick processes up to issueWidth input requests, forwarding misses and
+// write-backs to the MEE. Responses ready from cache hits are appended via
+// respond.
+func (b *L2Bank) tick(now uint64, mee meePort, respond func(memdef.Request, uint64)) {
+	// Retry buffered MEE submissions first.
+	for len(b.toMEE) > 0 {
+		r := b.toMEE[0]
+		var ok bool
+		if r.Kind == memdef.Write {
+			ok = mee.SubmitWrite(r, now)
+		} else {
+			ok = mee.SubmitRead(r, now)
+		}
+		if !ok {
+			break
+		}
+		b.toMEE = b.toMEE[1:]
+	}
+	if len(b.toMEE) > 96 {
+		return // severe back-pressure: stop accepting work this cycle
+	}
+	const issueWidth = 2
+	for i := 0; i < issueWidth && len(b.input) > 0; i++ {
+		lr := b.input[0]
+		if lr.arrived+b.cfg.L2Latency > now {
+			break // model the pipeline latency
+		}
+		b.input = b.input[1:]
+		r := lr.req
+		if r.Kind == memdef.Write {
+			// Writes allocate without fetch; they are not part of the
+			// sampled data-read miss rate (the paper samples regular
+			// data misses to gate the victim cache).
+			_, wbs := b.c.Write(r.Local)
+			b.spill(wbs, r, now, mee)
+			continue
+		}
+		switch b.c.Read(r.Local) {
+		case cache.Hit:
+			b.sample(false)
+			respond(r, now)
+		case cache.MissNew:
+			b.sample(true)
+			b.waiters[memdef.SectorAddr(r.Local)] = append(b.waiters[memdef.SectorAddr(r.Local)], r)
+			b.toMEE = append(b.toMEE, r)
+		case cache.MissMerged:
+			b.sample(true)
+			b.waiters[memdef.SectorAddr(r.Local)] = append(b.waiters[memdef.SectorAddr(r.Local)], r)
+		case cache.Blocked:
+			// No MSHR: leave at queue head and retry next cycle.
+			b.input = append([]l2Request{lr}, b.input...)
+			return
+		}
+	}
+}
+
+// spill forwards dirty evicted sectors to the MEE as write-backs.
+func (b *L2Bank) spill(wbs []cache.Writeback, template memdef.Request, now uint64, mee meePort) {
+	for _, wb := range wbs {
+		for s := 0; s < memdef.SectorsPerBlock; s++ {
+			if wb.SectorMask&(1<<uint(s)) == 0 {
+				continue
+			}
+			r := template
+			r.Kind = memdef.Write
+			r.Local = wb.BlockAddr + memdef.Addr(s*memdef.SectorSize)
+			r.SM = -1
+			b.toMEE = append(b.toMEE, r)
+		}
+	}
+	_ = now
+}
+
+// onFill installs a sector returned by the MEE and releases its waiters.
+func (b *L2Bank) onFill(local memdef.Addr, now uint64, mee meePort, respond func(memdef.Request, uint64)) {
+	sector := memdef.SectorAddr(local)
+	wbs, _ := b.c.Fill(sector)
+	// Fills can evict dirty victims (e.g. from earlier writes).
+	if len(wbs) > 0 {
+		tmpl := memdef.Request{Partition: b.partition, Space: memdef.SpaceGlobal}
+		b.spill(wbs, tmpl, now, mee)
+	}
+	for _, r := range b.waiters[sector] {
+		respond(r, now)
+	}
+	delete(b.waiters, sector)
+}
+
+// Victim-cache hooks (metadata sectors live above the data address space in
+// partition-local addressing, so tags never collide with data).
+
+// PushVictim parks a metadata sector in the bank. Dirty data sectors the
+// installation evicts are forwarded to the MEE like any other eviction.
+func (b *L2Bank) PushVictim(addr memdef.Addr) {
+	wbs, _ := b.c.Fill(addr)
+	if len(wbs) > 0 {
+		tmpl := memdef.Request{Partition: b.partition, Space: memdef.SpaceGlobal}
+		b.spill(wbs, tmpl, 0, nil)
+	}
+	b.VictimPushes++
+}
+
+// ProbeVictim looks up and consumes a parked metadata sector.
+func (b *L2Bank) ProbeVictim(addr memdef.Addr) bool {
+	if b.c.Probe(addr) {
+		b.c.CleanInvalidate(addr)
+		b.VictimHits++
+		return true
+	}
+	return false
+}
+
+// drained reports whether the bank holds no queued work.
+func (b *L2Bank) drained() bool {
+	return len(b.input) == 0 && len(b.toMEE) == 0 && len(b.waiters) == 0
+}
+
+// flushAll writes back every dirty sector at a kernel boundary, queuing the
+// write-backs toward the MEE. The bank must be drained first.
+func (b *L2Bank) flushAll() {
+	tmpl := memdef.Request{Partition: b.partition, Space: memdef.SpaceGlobal}
+	b.spill(b.c.FlushAll(), tmpl, 0, nil)
+}

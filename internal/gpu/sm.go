@@ -1,0 +1,221 @@
+package gpu
+
+import (
+	"shmgpu/internal/cache"
+	"shmgpu/internal/memdef"
+)
+
+// warpState tracks one resident warp.
+type warpState struct {
+	prog WarpProgram
+	// computeLeft is the number of 1-cycle compute instructions still to
+	// issue before the pending memory instruction.
+	computeLeft int
+	// pendingMem is the memory instruction to issue once computeLeft
+	// drains; valid when haveMem.
+	pendingMem MemInst
+	haveMem    bool
+	// outstanding counts sector responses the warp is waiting on.
+	outstanding int
+	// readyAt delays the warp after an L1 hit.
+	readyAt uint64
+	done    bool
+}
+
+// smRequest is a sector request traveling from an SM toward memory.
+type smRequest struct {
+	addr  memdef.Addr // physical sector address
+	write bool
+	space memdef.Space
+	sm    int
+	warp  int
+}
+
+// SM models one streaming multiprocessor: a set of warps scheduled
+// greedy-then-oldest, a sectored L1 for loads (stores bypass the L1 and
+// write through to L2, invalidating any local copy), and a bounded miss
+// queue toward the crossbar.
+type SM struct {
+	id        int
+	cfg       *Config
+	warps     []warpState
+	l1        *cache.Cache
+	l1Waiters map[memdef.Addr][]int // sector -> warp indexes
+	// missQueue holds sector requests awaiting crossbar acceptance.
+	missQueue []smRequest
+	// lastWarp implements greedy-then-oldest scheduling.
+	lastWarp int
+
+	// Instructions counts issued warp instructions (IPC numerator).
+	Instructions uint64
+	// Loads and Stores count memory instructions issued.
+	Loads, Stores uint64
+}
+
+func newSM(id int, cfg *Config) *SM {
+	return &SM{
+		id:  id,
+		cfg: cfg,
+		l1: cache.New(cache.Config{
+			Name:             "l1",
+			SizeBytes:        cfg.L1Bytes,
+			Ways:             cfg.L1Ways,
+			MSHRs:            cfg.L1MSHRs,
+			MaxMergesPerMSHR: 16,
+		}),
+		l1Waiters: map[memdef.Addr][]int{},
+	}
+}
+
+// launch installs the kernel's warps.
+func (s *SM) launch(kernel int, wl Workload) {
+	s.warps = make([]warpState, s.cfg.WarpsPerSM)
+	for w := range s.warps {
+		s.warps[w] = warpState{prog: wl.NewWarp(kernel, s.id, w)}
+		s.advance(&s.warps[w])
+	}
+	s.lastWarp = 0
+	// L1 contents do not survive kernel boundaries.
+	s.l1Waiters = map[memdef.Addr][]int{}
+}
+
+// advance pulls the next instruction bundle from the warp's program.
+func (s *SM) advance(w *warpState) {
+	if w.done {
+		return
+	}
+	compute, mem, done := w.prog.Next()
+	if done {
+		w.done = true
+		w.haveMem = false
+		return
+	}
+	w.computeLeft = compute
+	w.pendingMem = mem
+	w.haveMem = true
+}
+
+// finished reports whether every warp has completed.
+func (s *SM) finished() bool {
+	for i := range s.warps {
+		if !s.warps[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+// tick issues at most one instruction and retries queued L1 misses.
+// Sector requests that need the crossbar are appended to out (bounded by
+// the caller's acceptance).
+func (s *SM) tick(now uint64, accept func(smRequest) bool) {
+	// Drain the miss queue first: older requests have priority.
+	for len(s.missQueue) > 0 {
+		if !accept(s.missQueue[0]) {
+			break
+		}
+		s.missQueue = s.missQueue[1:]
+	}
+	if len(s.missQueue) > 32 {
+		return // throttle issue until the queue drains
+	}
+
+	n := len(s.warps)
+	for i := 0; i < n; i++ {
+		w := &s.warps[(s.lastWarp+i)%n]
+		// Loads are non-blocking up to the in-flight cap (scoreboarded
+		// issue): a warp only stalls when its outstanding sectors reach
+		// the cap, modeling the memory-level parallelism of real warps.
+		if w.done || w.outstanding >= s.cfg.MaxWarpInflightSectors || w.readyAt > now {
+			continue
+		}
+		s.lastWarp = (s.lastWarp + i) % n
+		if w.computeLeft > 0 {
+			w.computeLeft--
+			s.Instructions++
+			return
+		}
+		if !w.haveMem {
+			s.advance(w)
+			if w.done || w.computeLeft > 0 || !w.haveMem {
+				return
+			}
+		}
+		s.issueMem(w, now)
+		return
+	}
+}
+
+func (s *SM) issueMem(w *warpState, now uint64) {
+	mem := w.pendingMem
+	w.haveMem = false
+	if mem.Stall {
+		// Scheduling bubble: the warp backs off briefly and re-asks the
+		// program; not counted as an instruction.
+		w.readyAt = now + 16
+		s.advance(w)
+		return
+	}
+	s.Instructions++
+	if mem.Write {
+		s.Stores++
+		// Stores are posted: write through toward L2, no warp stall.
+		for _, a := range mem.Sectors {
+			s.l1.CleanInvalidate(a)
+			s.missQueue = append(s.missQueue, smRequest{addr: a, write: true, space: mem.Space, sm: s.id, warp: -1})
+		}
+		s.advance(w)
+		return
+	}
+	s.Loads++
+	warpIdx := s.warpIndex(w)
+	for _, a := range mem.Sectors {
+		switch s.l1.Read(a) {
+		case cache.Hit:
+			// Satisfied locally; small latency charged below.
+		case cache.MissNew:
+			w.outstanding++
+			s.l1Waiters[a] = append(s.l1Waiters[a], warpIdx)
+			s.missQueue = append(s.missQueue, smRequest{addr: a, space: mem.Space, sm: s.id, warp: warpIdx})
+		case cache.MissMerged:
+			w.outstanding++
+			s.l1Waiters[a] = append(s.l1Waiters[a], warpIdx)
+		case cache.Blocked:
+			// L1 MSHRs exhausted: bypass the L1's miss tracking and send
+			// the request downstream anyway (the L2 merges duplicates);
+			// the eventual fill still wakes this warp via l1Waiters.
+			w.outstanding++
+			s.l1Waiters[a] = append(s.l1Waiters[a], warpIdx)
+			s.missQueue = append(s.missQueue, smRequest{addr: a, space: mem.Space, sm: s.id, warp: warpIdx})
+		}
+	}
+	// Non-blocking issue: the program advances immediately; the warp only
+	// stalls via the in-flight cap checked by the scheduler.
+	if w.outstanding == 0 {
+		w.readyAt = now + s.cfg.L1Latency
+	}
+	s.advance(w)
+}
+
+func (s *SM) warpIndex(w *warpState) int {
+	for i := range s.warps {
+		if &s.warps[i] == w {
+			return i
+		}
+	}
+	panic("gpu: warp not resident")
+}
+
+// onFill delivers a sector response from L2, waking waiting warps.
+func (s *SM) onFill(addr memdef.Addr, now uint64) {
+	s.l1.Fill(addr)
+	waiters := s.l1Waiters[addr]
+	delete(s.l1Waiters, addr)
+	for _, wi := range waiters {
+		w := &s.warps[wi]
+		w.outstanding--
+		if w.outstanding == 0 {
+			w.readyAt = now + 1
+		}
+	}
+}

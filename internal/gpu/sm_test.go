@@ -1,0 +1,175 @@
+package gpu
+
+import (
+	"testing"
+
+	"shmgpu/internal/memdef"
+)
+
+// scriptProgram replays a fixed instruction list.
+type scriptProgram struct {
+	insts []MemInst
+	comp  []int
+	pos   int
+}
+
+func (p *scriptProgram) Next() (int, MemInst, bool) {
+	if p.pos >= len(p.insts) {
+		return 0, MemInst{}, true
+	}
+	i := p.pos
+	p.pos++
+	return p.comp[i], p.insts[i], false
+}
+
+// scriptWorkload hands every warp the same script.
+type scriptWorkload struct {
+	script func() *scriptProgram
+}
+
+func (w scriptWorkload) Name() string                        { return "script" }
+func (w scriptWorkload) Kernels() int                        { return 1 }
+func (w scriptWorkload) Setup(int) KernelSetup               { return KernelSetup{} }
+func (w scriptWorkload) NewWarp(k, sm, warp int) WarpProgram { return w.script() }
+
+func oneSMConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SMs = 1
+	cfg.WarpsPerSM = 2
+	cfg.DeviceMemoryBytes = 12 << 20
+	cfg.MaxCycles = 100_000
+	return cfg
+}
+
+func mkRead(addr memdef.Addr) MemInst {
+	return MemInst{Sectors: []memdef.Addr{addr}, Space: memdef.SpaceGlobal}
+}
+
+func TestSMExecutesComputeAndMemory(t *testing.T) {
+	wl := scriptWorkload{script: func() *scriptProgram {
+		return &scriptProgram{
+			insts: []MemInst{mkRead(0), mkRead(4096)},
+			comp:  []int{3, 2},
+		}
+	}}
+	sys := NewSystem(oneSMConfig(), baselineOpts())
+	res := sys.Run(wl)
+	if !res.Completed {
+		t.Fatal("script did not complete")
+	}
+	// 2 warps × (3+1 + 2+1) instructions.
+	if res.Instructions != 2*(3+1+2+1) {
+		t.Fatalf("instructions = %d, want 14", res.Instructions)
+	}
+}
+
+func TestSMStallBubblesNotCounted(t *testing.T) {
+	wl := scriptWorkload{script: func() *scriptProgram {
+		return &scriptProgram{
+			insts: []MemInst{{Stall: true}, {Stall: true}, mkRead(0)},
+			comp:  []int{0, 0, 0},
+		}
+	}}
+	res := NewSystem(oneSMConfig(), baselineOpts()).Run(wl)
+	if res.Instructions != 2*1 {
+		t.Fatalf("instructions = %d, want 2 (stalls must not count)", res.Instructions)
+	}
+}
+
+func TestSMWritesArePosted(t *testing.T) {
+	// A long write script must complete even though writes never get
+	// responses (posted stores).
+	var insts []MemInst
+	var comp []int
+	for i := 0; i < 50; i++ {
+		insts = append(insts, MemInst{
+			Sectors: []memdef.Addr{memdef.Addr(i * memdef.SectorSize)},
+			Write:   true,
+			Space:   memdef.SpaceGlobal,
+		})
+		comp = append(comp, 1)
+	}
+	wl := scriptWorkload{script: func() *scriptProgram {
+		return &scriptProgram{insts: insts, comp: comp}
+	}}
+	res := NewSystem(oneSMConfig(), baselineOpts()).Run(wl)
+	if !res.Completed {
+		t.Fatal("posted writes blocked completion")
+	}
+	if res.Traffic.WriteBytes[0] == 0 {
+		t.Fatal("no write traffic reached DRAM")
+	}
+}
+
+func TestSMLoadLatencyHiding(t *testing.T) {
+	// Two warps with independent loads should overlap their latencies:
+	// total cycles well under 2x a serial execution.
+	mkScript := func() *scriptProgram {
+		var insts []MemInst
+		var comp []int
+		for i := 0; i < 20; i++ {
+			insts = append(insts, mkRead(memdef.Addr(i*4096)))
+			comp = append(comp, 0)
+		}
+		return &scriptProgram{insts: insts, comp: comp}
+	}
+	cfg := oneSMConfig()
+	cfg.WarpsPerSM = 1
+	serial := NewSystem(cfg, baselineOpts()).Run(scriptWorkload{script: mkScript})
+	cfg2 := oneSMConfig()
+	cfg2.WarpsPerSM = 8
+	parallel := NewSystem(cfg2, baselineOpts()).Run(scriptWorkload{script: mkScript})
+	// 8x the work in far less than 8x the time.
+	if parallel.Cycles >= serial.Cycles*4 {
+		t.Fatalf("no latency hiding: 1 warp %d cycles, 8 warps %d", serial.Cycles, parallel.Cycles)
+	}
+}
+
+func TestSML1CachesRepeatedLoads(t *testing.T) {
+	mkScript := func() *scriptProgram {
+		var insts []MemInst
+		var comp []int
+		for i := 0; i < 10; i++ {
+			insts = append(insts, mkRead(0x1000)) // same sector
+			// Enough compute between loads for the first fill to land,
+			// so later loads find the sector resident (loads are
+			// non-blocking, so back-to-back repeats would merge into the
+			// in-flight miss instead of hitting).
+			comp = append(comp, 800)
+		}
+		return &scriptProgram{insts: insts, comp: comp}
+	}
+	res := NewSystem(oneSMConfig(), baselineOpts()).Run(scriptWorkload{script: mkScript})
+	if res.L1.Hits == 0 {
+		t.Fatal("no L1 hits on repeated loads")
+	}
+	// Only one sector must have traveled to DRAM.
+	if got := res.Traffic.DataBytes(); got != memdef.SectorSize {
+		t.Fatalf("DRAM data bytes = %d, want one sector", got)
+	}
+}
+
+func TestSMWriteInvalidatesL1(t *testing.T) {
+	// read A; write A; read A — the second read must not serve the stale
+	// L1 copy (write-through with invalidate).
+	mkScript := func() *scriptProgram {
+		return &scriptProgram{
+			insts: []MemInst{
+				mkRead(0x2000),
+				{Sectors: []memdef.Addr{0x2000}, Write: true, Space: memdef.SpaceGlobal},
+				mkRead(0x2000),
+			},
+			comp: []int{0, 0, 0},
+		}
+	}
+	cfg := oneSMConfig()
+	cfg.WarpsPerSM = 1
+	res := NewSystem(cfg, baselineOpts()).Run(scriptWorkload{script: mkScript})
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	// The second read must miss L1 (invalidated); it may hit in L2.
+	if res.L1.Hits != 0 {
+		t.Fatalf("L1 hits = %d; stale data served", res.L1.Hits)
+	}
+}

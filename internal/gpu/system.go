@@ -1,0 +1,420 @@
+package gpu
+
+import (
+	"fmt"
+
+	"shmgpu/internal/dram"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/secmem"
+	"shmgpu/internal/stats"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Workload and Scheme identify the run.
+	Workload, Scheme string
+	// Cycles is the total simulated cycles across kernels.
+	Cycles uint64
+	// Instructions is the total warp instructions issued.
+	Instructions uint64
+	// Traffic aggregates DRAM bytes moved by class across partitions.
+	Traffic stats.Traffic
+	// L1, L2 aggregate cache stats across instances.
+	L1, L2 stats.CacheStats
+	// Ctr, MAC, BMT aggregate the metadata caches across partitions.
+	Ctr, MAC, BMT stats.CacheStats
+	// ROAccuracy, StreamAccuracy are the Fig. 10/11 breakdowns (only
+	// populated when the design tracks accuracy).
+	ROAccuracy, StreamAccuracy stats.PredictorStats
+	// BusUtilization is the mean DRAM data-bus utilization.
+	BusUtilization float64
+	// VictimHits and VictimPushes total the L2 victim-cache activity.
+	VictimHits, VictimPushes uint64
+	// Reg merges every MEE's event registry.
+	Reg stats.Registry
+	// Completed reports whether all warps finished before MaxCycles.
+	Completed bool
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// BandwidthOverhead returns metadata bytes / data bytes (paper Fig. 14).
+func (r Result) BandwidthOverhead() float64 { return r.Traffic.OverheadRatio() }
+
+type xbarEntry struct {
+	r  memdef.Request
+	at uint64
+}
+
+type respEntry struct {
+	phys memdef.Addr
+	sm   int
+	at   uint64
+}
+
+// partitionVictim adapts a partition's L2 banks to the secmem.VictimCache
+// interface.
+type partitionVictim struct {
+	sys  *System
+	part int
+}
+
+func (v partitionVictim) bank(addr memdef.Addr) *L2Bank {
+	return v.sys.l2[v.part][v.sys.bankOf(addr)]
+}
+
+func (v partitionVictim) PushVictim(addr memdef.Addr)       { v.bank(addr).PushVictim(addr) }
+func (v partitionVictim) ProbeVictim(addr memdef.Addr) bool { return v.bank(addr).ProbeVictim(addr) }
+func (v partitionVictim) VictimActive() bool {
+	for _, b := range v.sys.l2[v.part] {
+		if b.victimActive() {
+			return true
+		}
+	}
+	return false
+}
+
+// System is the complete simulated GPU.
+type System struct {
+	cfg      Config
+	opts     secmem.Options
+	sms      []*SM
+	l2       [][]*L2Bank
+	mees     []*secmem.MEE
+	channels []*dram.Channel
+	pmap     *memdef.PartitionMap
+
+	toPart [][]xbarEntry
+	toSM   []respEntry
+
+	cycle uint64
+	instr uint64
+}
+
+// NewSystem builds a GPU running the given secure-memory design.
+func NewSystem(cfg Config, opts secmem.Options) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{
+		cfg:    cfg,
+		opts:   opts,
+		pmap:   memdef.NewPartitionMap(cfg.Partitions),
+		toPart: make([][]xbarEntry, cfg.Partitions),
+	}
+	for i := 0; i < cfg.SMs; i++ {
+		s.sms = append(s.sms, newSM(i, &s.cfg))
+	}
+	s.l2 = make([][]*L2Bank, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		for b := 0; b < cfg.L2BanksPerPartition; b++ {
+			s.l2[p] = append(s.l2[p], newL2Bank(p, b, &s.cfg))
+		}
+		s.channels = append(s.channels, dram.NewChannel(cfg.DRAM))
+		mee := secmem.NewMEE(cfg.MEEOptionsToConfig(opts, p), s)
+		if opts.VictimL2 {
+			mee.SetVictimCache(partitionVictim{sys: s, part: p})
+		}
+		s.mees = append(s.mees, mee)
+	}
+	return s
+}
+
+// MEE exposes partition p's encryption engine (analysis and tests).
+func (s *System) MEE(p int) *secmem.MEE { return s.mees[p] }
+
+// Enqueue implements secmem.DRAMPort.
+func (s *System) Enqueue(part int, r dram.Req, now uint64) bool {
+	return s.channels[part].Enqueue(r, now)
+}
+
+func (s *System) bankOf(local memdef.Addr) int {
+	return int(uint64(local)/memdef.BlockSize) % s.cfg.L2BanksPerPartition
+}
+
+// applySetup performs the host-side work before kernel k.
+func (s *System) applySetup(k int, setup KernelSetup) {
+	for _, cr := range setup.CopyRanges {
+		lo, hi := s.pmap.LocalRange(cr.Lo, cr.Hi)
+		for p, mee := range s.mees {
+			_ = p
+			if k == 0 {
+				mee.MarkInputRange(lo, hi)
+			} else if setup.UseResetAPI {
+				mee.InputReadOnlyReset(lo, hi, s.cycle)
+			} else {
+				mee.HostOverwrite(lo, hi)
+			}
+		}
+	}
+	if s.opts.OracleDetectors {
+		for _, rr := range setup.ReadOnlyTruth {
+			lo, hi := s.pmap.LocalRange(rr.Lo, rr.Hi)
+			for _, mee := range s.mees {
+				mee.OraclePreloadReadOnly(lo, hi, true)
+			}
+		}
+		for _, st := range setup.StreamTruths {
+			lo, hi := s.pmap.LocalRange(st.Range.Lo, st.Range.Hi)
+			for _, mee := range s.mees {
+				mee.OraclePreloadStreaming(lo, hi, st.Streaming)
+			}
+		}
+	}
+}
+
+// GridAware is an optional Workload extension: workloads that shard work
+// across warps receive the simulated grid dimensions before the run.
+type GridAware interface {
+	SetGrid(sms, warpsPerSM int)
+}
+
+// Run simulates the whole workload and returns the results.
+func (s *System) Run(wl Workload) Result {
+	if ga, ok := wl.(GridAware); ok {
+		ga.SetGrid(s.cfg.SMs, s.cfg.WarpsPerSM)
+	}
+	completed := true
+	for k := 0; k < wl.Kernels(); k++ {
+		s.applySetup(k, wl.Setup(k))
+		for _, sm := range s.sms {
+			sm.launch(k, wl)
+		}
+		if !s.runKernel() {
+			completed = false
+			break
+		}
+		// Kernel boundary: dirty L2 data drains through the MEE (this is
+		// how buffered stores reach DRAM and trigger RO transitions and
+		// MAC/counter updates), then dirty metadata follows.
+		for _, banks := range s.l2 {
+			for _, b := range banks {
+				b.flushAll()
+			}
+		}
+		s.drainLoop()
+		for _, mee := range s.mees {
+			mee.FlushKernel(s.cycle)
+			mee.FlushMetadata()
+		}
+		s.drainLoop()
+		for _, banks := range s.l2 {
+			for _, b := range banks {
+				b.resetSampling()
+			}
+		}
+	}
+	return s.collect(wl.Name(), completed)
+}
+
+// runKernel drives the cycle loop until all warps finish and the memory
+// system drains, or the per-kernel cycle budget runs out. It reports
+// whether the kernel completed.
+func (s *System) runKernel() bool {
+	deadline := uint64(0)
+	if s.cfg.MaxCycles > 0 {
+		deadline = s.cycle + s.cfg.MaxCycles
+	}
+	idleStreak := 0
+	for {
+		now := s.cycle
+		s.tickOnce(now)
+		s.cycle++
+		if deadline != 0 && s.cycle >= deadline {
+			return false
+		}
+		if s.smsFinished() {
+			if s.drained() {
+				idleStreak++
+				if idleStreak > 4 {
+					return true
+				}
+			} else {
+				idleStreak = 0
+			}
+		}
+	}
+}
+
+// drainLoop ticks until every queue and in-flight request empties (used at
+// kernel boundaries after flushes). Bounded as a deadlock backstop.
+func (s *System) drainLoop() {
+	for i := 0; i < 2_000_000; i++ {
+		if s.drained() {
+			return
+		}
+		s.tickOnce(s.cycle)
+		s.cycle++
+	}
+	panic("gpu: drainLoop did not converge — memory system deadlock")
+}
+
+func (s *System) tickOnce(now uint64) {
+	// 1. SMs issue instructions; misses enter the crossbar.
+	for _, sm := range s.sms {
+		sm.tick(now, func(r smRequest) bool {
+			part, local := s.pmap.ToLocal(r.addr)
+			if len(s.toPart[part]) >= 64 {
+				return false
+			}
+			kind := memdef.Read
+			if r.write {
+				kind = memdef.Write
+			}
+			s.toPart[part] = append(s.toPart[part], xbarEntry{
+				r: memdef.Request{
+					Phys: r.addr, Local: local, Partition: part,
+					Kind: kind, Space: r.space, SM: r.sm, Warp: r.warp,
+				},
+				at: now + s.cfg.XbarLatency,
+			})
+			return true
+		})
+	}
+
+	// 2. Crossbar delivers matured requests to L2 banks.
+	for p := range s.toPart {
+		q := s.toPart[p]
+		for len(q) > 0 && q[0].at <= now {
+			bank := s.l2[p][s.bankOf(q[0].r.Local)]
+			if !bank.enqueue(q[0].r, now) {
+				break
+			}
+			q = q[1:]
+		}
+		s.toPart[p] = q
+	}
+
+	// 3. L2 banks process requests, forwarding misses to their MEE.
+	for p := range s.l2 {
+		mee := s.mees[p]
+		for _, bank := range s.l2[p] {
+			bank.tick(now, mee, s.respond)
+		}
+	}
+
+	// 4. MEEs advance; completed reads fill the L2 banks.
+	for p, mee := range s.mees {
+		for _, r := range mee.Tick(now) {
+			bank := s.l2[p][s.bankOf(r.Local)]
+			bank.onFill(r.Local, now, mee, s.respond)
+		}
+	}
+
+	// 5. DRAM channels advance; completions return to their owning MEE.
+	for p, ch := range s.channels {
+		_ = p
+		for _, done := range ch.Tick(now) {
+			owner := secmem.TokenOwner(done.Token)
+			if owner >= 0 && owner < len(s.mees) {
+				s.mees[owner].OnDRAMComplete(done.Token, now)
+			}
+		}
+	}
+
+	// 6. Response network delivers fills to SMs.
+	rest := s.toSM[:0]
+	for _, e := range s.toSM {
+		if e.at <= now {
+			s.sms[e.sm].onFill(e.phys, now)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	s.toSM = rest
+}
+
+// respond routes an L2 read response back toward its SM.
+func (s *System) respond(r memdef.Request, now uint64) {
+	if r.SM < 0 {
+		return
+	}
+	s.toSM = append(s.toSM, respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
+}
+
+func (s *System) smsFinished() bool {
+	for _, sm := range s.sms {
+		if !sm.finished() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) drained() bool {
+	for p := range s.toPart {
+		if len(s.toPart[p]) > 0 {
+			return false
+		}
+	}
+	if len(s.toSM) > 0 {
+		return false
+	}
+	for p := range s.l2 {
+		for _, b := range s.l2[p] {
+			if !b.drained() {
+				return false
+			}
+		}
+	}
+	for _, mee := range s.mees {
+		if !mee.Idle() {
+			return false
+		}
+	}
+	for _, ch := range s.channels {
+		if !ch.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) collect(workload string, completed bool) Result {
+	res := Result{Workload: workload, Cycles: s.cycle, Completed: completed}
+	for _, sm := range s.sms {
+		res.Instructions += sm.Instructions
+		res.L1.Merge(&sm.l1.Stats)
+	}
+	for p := range s.l2 {
+		for _, b := range s.l2[p] {
+			st := b.Stats()
+			res.L2.Merge(&st)
+			res.VictimHits += b.VictimHits
+			res.VictimPushes += b.VictimPushes
+		}
+	}
+	var busSum float64
+	for _, ch := range s.channels {
+		res.Traffic.Merge(&ch.Traffic)
+		busSum += ch.BusUtilization(s.cycle)
+	}
+	res.BusUtilization = busSum / float64(len(s.channels))
+	for _, mee := range s.mees {
+		ctr, mac, bmtS := mee.CacheStats()
+		res.Ctr.Merge(&ctr)
+		res.MAC.Merge(&mac)
+		res.BMT.Merge(&bmtS)
+		res.Reg.Merge(&mee.Reg)
+		mon, skip := mee.MATStats()
+		res.Reg.Add("mat_monitored", mon)
+		res.Reg.Add("mat_skipped", skip)
+		ro, st := mee.AccuracyResults()
+		res.ROAccuracy.Merge(&ro)
+		res.StreamAccuracy.Merge(&st)
+	}
+	return res
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC=%.3f cycles=%d instr=%d bwOvh=%.2f%% busUtil=%.1f%%",
+		r.Workload, r.Scheme, r.IPC(), r.Cycles, r.Instructions,
+		100*r.BandwidthOverhead(), 100*r.BusUtilization)
+}

@@ -1,0 +1,239 @@
+package memdef
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if BlockSize%SectorSize != 0 {
+		t.Fatalf("BlockSize %d not a multiple of SectorSize %d", BlockSize, SectorSize)
+	}
+	if SectorsPerBlock != 4 {
+		t.Errorf("SectorsPerBlock = %d, want 4", SectorsPerBlock)
+	}
+	if BlocksPerChunk != 32 {
+		t.Errorf("BlocksPerChunk = %d, want 32", BlocksPerChunk)
+	}
+	if BlocksPerRegion != 128 {
+		t.Errorf("BlocksPerRegion = %d, want 128", BlocksPerRegion)
+	}
+	if ChunkSize*2048 != 8<<20 {
+		t.Errorf("streaming predictor coverage per index wrap is %d, want 8 MiB", ChunkSize*2048)
+	}
+}
+
+func TestAlignmentHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if BlockAddr(a)%BlockSize != 0 {
+		t.Errorf("BlockAddr not aligned: %#x", uint64(BlockAddr(a)))
+	}
+	if SectorAddr(a)%SectorSize != 0 {
+		t.Errorf("SectorAddr not aligned: %#x", uint64(SectorAddr(a)))
+	}
+	if ChunkAddr(a)%ChunkSize != 0 {
+		t.Errorf("ChunkAddr not aligned: %#x", uint64(ChunkAddr(a)))
+	}
+	if RegionAddr(a)%RegionSize != 0 {
+		t.Errorf("RegionAddr not aligned: %#x", uint64(RegionAddr(a)))
+	}
+	if got := SectorInBlock(Addr(BlockSize + 3*SectorSize + 5)); got != 3 {
+		t.Errorf("SectorInBlock = %d, want 3", got)
+	}
+	if got := BlockInChunk(Addr(ChunkSize + 7*BlockSize)); got != 7 {
+		t.Errorf("BlockInChunk = %d, want 7", got)
+	}
+}
+
+func TestSpaceReadOnlyByNature(t *testing.T) {
+	cases := []struct {
+		s  Space
+		ro bool
+	}{
+		{SpaceGlobal, false},
+		{SpaceLocal, false},
+		{SpaceConstant, true},
+		{SpaceTexture, true},
+		{SpaceInstruction, true},
+	}
+	for _, c := range cases {
+		if got := c.s.ReadOnlyByNature(); got != c.ro {
+			t.Errorf("%v.ReadOnlyByNature() = %v, want %v", c.s, got, c.ro)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	if SpaceConstant.String() != "constant" {
+		t.Errorf("got %q", SpaceConstant.String())
+	}
+	if Space(200).String() == "" {
+		t.Error("unknown space should still render")
+	}
+}
+
+func TestPartitionMapRoundTrip(t *testing.T) {
+	m := NewPartitionMap(12)
+	f := func(raw uint64) bool {
+		phys := Addr(raw % (4 << 30)) // 4 GB device memory
+		p, local := m.ToLocal(phys)
+		if p < 0 || p >= 12 {
+			return false
+		}
+		return m.ToPhysical(p, local) == phys
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionMapPreservesStrideOffset(t *testing.T) {
+	m := NewPartitionMap(12)
+	for _, phys := range []Addr{0, 1, 255, 256, 4095, 1 << 20} {
+		_, local := m.ToLocal(phys)
+		if uint64(local)%PartitionStride != uint64(phys)%PartitionStride {
+			t.Errorf("offset not preserved for %#x: local=%#x", uint64(phys), uint64(local))
+		}
+	}
+}
+
+func TestPartitionMapBalance(t *testing.T) {
+	m := NewPartitionMap(12)
+	counts := make([]int, 12)
+	// Sequential streaming over 12 MB must spread near-uniformly.
+	for a := Addr(0); a < 12<<20; a += PartitionStride {
+		p, _ := m.ToLocal(a)
+		counts[p]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	want := total / 12
+	for p, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("partition %d has %d accesses, want ~%d", p, c, want)
+		}
+	}
+}
+
+func TestPartitionMapPowerOfTwoStride(t *testing.T) {
+	// A 4 KB stride (power of two) must not camp on a single partition
+	// thanks to the XOR fold.
+	m := NewPartitionMap(12)
+	counts := make([]int, 12)
+	for i := 0; i < 12000; i++ {
+		p, _ := m.ToLocal(Addr(i * 4096))
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("partition %d never hit under 4 KB stride", p)
+		}
+		if c > 12000/2 {
+			t.Errorf("partition %d absorbed %d of 12000 accesses", p, c)
+		}
+	}
+}
+
+func TestPartitionMapLocalDensity(t *testing.T) {
+	// Every partition-local block address must be reachable: walk physical
+	// space and record local rows per partition; they must be contiguous.
+	m := NewPartitionMap(4)
+	seen := make(map[int]map[uint64]bool)
+	for p := 0; p < 4; p++ {
+		seen[p] = make(map[uint64]bool)
+	}
+	const rows = 64
+	for a := Addr(0); a < rows*4*PartitionStride; a += PartitionStride {
+		p, local := m.ToLocal(a)
+		seen[p][uint64(local)/PartitionStride] = true
+	}
+	for p := 0; p < 4; p++ {
+		for r := uint64(0); r < rows; r++ {
+			if !seen[p][r] {
+				t.Fatalf("partition %d local row %d unreachable", p, r)
+			}
+		}
+	}
+}
+
+func TestNewPartitionMapPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero partitions")
+		}
+	}()
+	NewPartitionMap(0)
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Phys: 0x1000, Local: 0x100, Partition: 3, Kind: Write, Space: SpaceGlobal, SM: 7}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("kind strings wrong: %q %q", Read.String(), Write.String())
+	}
+}
+
+func TestLocalCapacity(t *testing.T) {
+	m := NewPartitionMap(12)
+	if got := m.LocalCapacity(12 << 20); got != 1<<20 {
+		t.Errorf("LocalCapacity = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestPartitionMapRandomizedInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 7, 12, 16} {
+		m := NewPartitionMap(n)
+		for i := 0; i < 2000; i++ {
+			phys := Addr(rng.Uint64() % (4 << 30))
+			p, local := m.ToLocal(phys)
+			if back := m.ToPhysical(p, local); back != phys {
+				t.Fatalf("n=%d phys=%#x -> (%d,%#x) -> %#x", n, uint64(phys), p, uint64(local), uint64(back))
+			}
+		}
+	}
+}
+
+func TestLocalRangeCoversPhysicalRange(t *testing.T) {
+	m := NewPartitionMap(12)
+	cases := [][2]Addr{
+		{0, 1 << 20},
+		{4096, 3 * 4096},
+		{1 << 20, 1<<20 + 16384},
+		{123456, 987654},
+	}
+	for _, c := range cases {
+		lo, hi := m.LocalRange(c[0], c[1])
+		// Every physical address in the range must map to a local address
+		// inside [lo, hi) in its partition.
+		for a := c[0]; a < c[1]; a += PartitionStride {
+			_, local := m.ToLocal(a)
+			if local < lo || local >= hi {
+				t.Fatalf("phys %#x local %#x outside [%#x,%#x)", uint64(a), uint64(local), uint64(lo), uint64(hi))
+			}
+		}
+	}
+	if lo, hi := m.LocalRange(100, 100); lo != 0 || hi != 0 {
+		t.Error("empty range should return zeros")
+	}
+}
+
+func TestLocalRangeTightness(t *testing.T) {
+	// The local band must not be grossly larger than physSize/partitions.
+	m := NewPartitionMap(12)
+	lo, hi := m.LocalRange(0, 12<<20)
+	span := uint64(hi - lo)
+	want := uint64(12<<20) / 12
+	if span > want+2*PartitionStride {
+		t.Errorf("local span %d exceeds %d", span, want)
+	}
+}

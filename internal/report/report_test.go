@@ -1,0 +1,68 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. X", "bench", "value")
+	tb.AddRow("fdtd2d", 0.984)
+	tb.AddRow("bfs", 0.71)
+	s := tb.String()
+	if !strings.Contains(s, "Fig. X") || !strings.Contains(s, "fdtd2d") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 6 { // title, underline, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// Column alignment: all data rows have the same prefix width.
+	if len(lines[4]) == 0 || len(lines[5]) == 0 {
+		t.Fatal("empty rows")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "=") {
+		t.Fatal("untitled table should not render a title underline")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 0}); got != 0 {
+		t.Errorf("GeoMean with zero = %v, want 0", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.0809); got != "8.09%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package scheme defines the secure-memory designs evaluated in the paper
+// (Table VIII) as named presets over secmem.Options, plus the insecure
+// baseline every result is normalized against.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"shmgpu/internal/secmem"
+)
+
+// Scheme is one named secure-memory design.
+type Scheme struct {
+	// Name is the paper's label (Table VIII).
+	Name string
+	// Description says what the design represents.
+	Description string
+	// Options is the MEE configuration implementing it.
+	Options secmem.Options
+}
+
+// The paper's designs. Baseline is the insecure GPU used for
+// normalization; the rest match Table VIII.
+var (
+	// Baseline: GPU with sectored data caches, no secure memory.
+	Baseline = Scheme{
+		Name:        "Baseline",
+		Description: "insecure GPU, no memory protection (normalization reference)",
+		Options:     secmem.Options{},
+	}
+	// Naive: CPU-style secure memory; metadata from physical addresses,
+	// full-block metadata fetches.
+	Naive = Scheme{
+		Name:        "Naive",
+		Description: "secure memory with physical-address metadata, CPU-style full-block fetches",
+		Options:     secmem.Options{Enabled: true},
+	}
+	// CommonCtr: common counters over the naive organization.
+	CommonCtr = Scheme{
+		Name:        "Common_ctr",
+		Description: "common-counter compression over physical-address metadata",
+		Options:     secmem.Options{Enabled: true, CommonCounters: true},
+	}
+	// PSSM: partitioned and sectored security metadata (local addresses).
+	PSSM = Scheme{
+		Name:        "PSSM",
+		Description: "partition-local, sectored security metadata",
+		Options:     secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true},
+	}
+	// PSSMCtr: PSSM plus common counters.
+	PSSMCtr = Scheme{
+		Name:        "PSSM_cctr",
+		Description: "PSSM metadata with common-counter compression",
+		Options: secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true, CommonCounters: true,
+		},
+	}
+	// SHMReadOnly: the read-only optimization alone (per-block MACs).
+	SHMReadOnly = Scheme{
+		Name:        "SHM_readOnly",
+		Description: "PSSM + shared counter for read-only regions (per-block MACs)",
+		Options: secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true, ReadOnlyOpt: true,
+		},
+	}
+	// SHM: the paper's full design: read-only optimization plus
+	// dual-granularity MACs.
+	SHM = Scheme{
+		Name:        "SHM",
+		Description: "secure heterogeneous memory: read-only shared counter + dual-granularity MACs",
+		Options: secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true,
+		},
+	}
+	// SHMCctr: SHM combined with common counters.
+	SHMCctr = Scheme{
+		Name:        "SHM_cctr",
+		Description: "SHM combined with common counters",
+		Options: secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true, CommonCounters: true,
+		},
+	}
+	// SHMvL2: SHM using the L2 as a metadata victim cache.
+	SHMvL2 = Scheme{
+		Name:        "SHM_vL2",
+		Description: "SHM with L2 as victim cache for security metadata",
+		Options: secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true, VictimL2: true,
+		},
+	}
+	// SHMUpperBound: unlimited predictors preloaded by profiling.
+	SHMUpperBound = Scheme{
+		Name:        "SHM_upper_bound",
+		Description: "SHM with unlimited, profiling-initialized predictors",
+		Options: secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true, OracleDetectors: true,
+		},
+	}
+)
+
+// All returns every scheme including the baseline, in evaluation order.
+func All() []Scheme {
+	return []Scheme{
+		Baseline, Naive, CommonCtr, PSSM, PSSMCtr,
+		SHMReadOnly, SHM, SHMCctr, SHMvL2, SHMUpperBound,
+	}
+}
+
+// Evaluated returns the secure designs (Table VIII), without the baseline.
+func Evaluated() []Scheme { return All()[1:] }
+
+// ByName looks a scheme up by its paper label.
+func ByName(name string) (Scheme, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("scheme: unknown design %q (have %v)", name, NamesOf(All()))
+}
+
+// NamesOf lists scheme names.
+func NamesOf(ss []Scheme) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SortedNames returns all scheme names sorted alphabetically.
+func SortedNames() []string {
+	n := NamesOf(All())
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,78 @@
+package scheme
+
+import "testing"
+
+func TestAllSchemes(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("have %d schemes, want 10 (baseline + 9 of Table VIII)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Description == "" {
+			t.Errorf("scheme %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scheme %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if !seen["SHM"] || !seen["PSSM"] || !seen["Common_ctr"] || !seen["SHM_upper_bound"] {
+		t.Error("missing a Table VIII design")
+	}
+}
+
+func TestBaselineDisabled(t *testing.T) {
+	if Baseline.Options.Enabled {
+		t.Fatal("baseline must have the MEE disabled")
+	}
+	for _, s := range Evaluated() {
+		if !s.Options.Enabled {
+			t.Errorf("%s must have the MEE enabled", s.Name)
+		}
+	}
+}
+
+func TestOptionConsistency(t *testing.T) {
+	// SHM implies both optimizations; PSSM neither.
+	if !SHM.Options.ReadOnlyOpt || !SHM.Options.DualGranMAC {
+		t.Error("SHM must enable both optimizations")
+	}
+	if PSSM.Options.ReadOnlyOpt || PSSM.Options.DualGranMAC || PSSM.Options.CommonCounters {
+		t.Error("PSSM must not enable SHM optimizations")
+	}
+	if Naive.Options.LocalMetadata || Naive.Options.SectoredMetadata {
+		t.Error("naive design must use physical-address, full-block metadata")
+	}
+	if !SHMUpperBound.Options.OracleDetectors {
+		t.Error("upper bound must use oracle detectors")
+	}
+	if !SHMvL2.Options.VictimL2 {
+		t.Error("SHM_vL2 must enable the victim cache")
+	}
+	if !SHMCctr.Options.CommonCounters {
+		t.Error("SHM_cctr must enable common counters")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("SHM")
+	if err != nil || s.Name != "SHM" {
+		t.Fatalf("ByName(SHM) = %v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := SortedNames()
+	if len(names) != 10 {
+		t.Fatalf("len = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}

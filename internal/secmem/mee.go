@@ -1,0 +1,963 @@
+package secmem
+
+import (
+	"container/heap"
+	"fmt"
+
+	"shmgpu/internal/cache"
+	"shmgpu/internal/detectors"
+	"shmgpu/internal/dram"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/metadata"
+	"shmgpu/internal/stats"
+)
+
+// DRAMPort routes sector requests to a partition's DRAM channel. The GPU
+// system implements it over its channel array; metadata constructed from
+// physical addresses may target partitions other than the MEE's own.
+type DRAMPort interface {
+	// Enqueue submits a request to partition part's channel, returning
+	// false when that channel's queue is full.
+	Enqueue(part int, r dram.Req, now uint64) bool
+}
+
+// pendingKind classifies an outstanding DRAM request by purpose.
+type pendingKind uint8
+
+const (
+	pkData pendingKind = iota
+	pkCounter
+	pkMAC
+	pkBMT
+	pkMisc // fire-and-forget traffic (mispredict recovery, scans)
+)
+
+type pendingEntry struct {
+	kind pendingKind
+	// key is the cache key address the completion fills (metadata space),
+	// or unused for pkData/pkMisc.
+	key memdef.Addr
+	// txn is the transaction awaiting this data sector (pkData only).
+	txn *txn
+}
+
+// txn tracks one in-flight read through the MEE: the response returns to
+// the L2 once the ciphertext sector has arrived AND its OTP is ready.
+type txn struct {
+	req      memdef.Request
+	haveData bool
+	haveOTP  bool
+	otpAt    uint64
+	dataAt   uint64
+	enqueued bool // pushed on the ready heap
+}
+
+type readyTxn struct {
+	at uint64
+	t  *txn
+}
+
+type readyHeap []readyTxn
+
+func (h readyHeap) Len() int            { return len(h) }
+func (h readyHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyTxn)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+type outgoing struct {
+	part int
+	req  dram.Req
+}
+
+// MEE is one partition's memory encryption engine.
+type MEE struct {
+	cfg    Config
+	layout *metadata.Layout
+	pmap   *memdef.PartitionMap
+	port   DRAMPort
+
+	ctrCache *cache.Cache
+	macCache *cache.Cache
+	bmtCache *cache.Cache
+
+	roPred *detectors.ReadOnlyPredictor
+	stPred *detectors.StreamingPredictor
+	mats   *detectors.MATFile
+
+	// oracle predictor state (OracleDetectors).
+	roOracle map[uint64]bool // region -> read-only truth
+	stOracle map[uint64]bool // chunk -> streaming truth
+
+	// accuracy harnesses (TrackAccuracy).
+	roAcc *detectors.ReadOnlyAccuracy
+	stAcc *detectors.StreamingAccuracy
+
+	victim VictimCache
+
+	// common-counter divergence state: pages (counter-block coverage)
+	// whose counters no longer hold the common value.
+	diverged map[uint64]bool
+
+	// sharedCounter is the on-chip shared counter for read-only regions.
+	sharedCounter uint64
+
+	input     []memdef.Request
+	outgoing  []outgoing
+	pending   map[uint64]pendingEntry
+	ctrWait   map[memdef.Addr][]*txn
+	ready     readyHeap
+	responses []memdef.Request
+	nextToken uint64
+	aesFree   uint64
+	lastTick  uint64
+
+	// Reg collects ad-hoc event counters (transitions, mispredict classes,
+	// victim hits, etc.).
+	Reg stats.Registry
+
+	// trace, when set, observes every data access the MEE processes
+	// (debug/analysis hook; see SetTrace).
+	trace func(now uint64, r memdef.Request)
+}
+
+// SetTrace installs a per-access observer (nil to disable). Used by
+// analysis tooling; not part of the timing model.
+func (m *MEE) SetTrace(fn func(now uint64, r memdef.Request)) { m.trace = fn }
+
+// NewMEE builds one partition's engine. port routes DRAM requests; layout
+// is derived from cfg.ProtectedBytes.
+func NewMEE(cfg Config, port DRAMPort) *MEE {
+	layout, err := metadata.NewLayout(cfg.ProtectedBytes)
+	if err != nil {
+		panic(fmt.Sprintf("secmem: %v", err))
+	}
+	m := &MEE{
+		cfg:      cfg,
+		layout:   layout,
+		pmap:     memdef.NewPartitionMap(cfg.NumPartitions),
+		port:     port,
+		pending:  map[uint64]pendingEntry{},
+		ctrWait:  map[memdef.Addr][]*txn{},
+		diverged: map[uint64]bool{},
+	}
+	if cfg.Enabled {
+		m.ctrCache = cache.New(cfg.CtrCache)
+		m.macCache = cache.New(cfg.MACCache)
+		m.bmtCache = cache.New(cfg.BMTCache)
+		m.roPred = detectors.NewReadOnlyPredictor(cfg.ReadOnly)
+		m.stPred = detectors.NewStreamingPredictor(cfg.Streaming)
+		m.mats = detectors.NewMATFile(cfg.Streaming)
+		if cfg.OracleDetectors {
+			m.roOracle = map[uint64]bool{}
+			m.stOracle = map[uint64]bool{}
+		}
+		if cfg.TrackAccuracy {
+			m.roAcc = detectors.NewReadOnlyAccuracy(m.roPred)
+			m.stAcc = detectors.NewStreamingAccuracy(m.stPred, m.roPred)
+		}
+	}
+	return m
+}
+
+// Config returns the MEE configuration.
+func (m *MEE) Config() Config { return m.cfg }
+
+// Layout exposes the metadata layout (tests, reporting).
+func (m *MEE) Layout() *metadata.Layout { return m.layout }
+
+// SetVictimCache installs the L2 victim-cache hook. Every metadata-cache
+// eviction (clean or dirty) is pushed into the L2 while victim mode is
+// active; dirty sectors are additionally written back to DRAM as usual.
+func (m *MEE) SetVictimCache(v VictimCache) {
+	m.victim = v
+	if !m.cfg.Enabled || v == nil {
+		return
+	}
+	push := func(blockAddr memdef.Addr, validMask uint8) {
+		if !v.VictimActive() {
+			return
+		}
+		for s := 0; s < memdef.SectorsPerBlock; s++ {
+			if validMask&(1<<uint(s)) != 0 {
+				v.PushVictim(blockAddr + memdef.Addr(s*memdef.SectorSize))
+			}
+		}
+	}
+	m.ctrCache.OnEvict = push
+	m.macCache.OnEvict = push
+	m.bmtCache.OnEvict = push
+}
+
+// CacheStats returns the three metadata caches' stats (nil-safe when the
+// MEE is disabled).
+func (m *MEE) CacheStats() (ctr, mac, bmt stats.CacheStats) {
+	if !m.cfg.Enabled {
+		return
+	}
+	return m.ctrCache.Stats, m.macCache.Stats, m.bmtCache.Stats
+}
+
+// SharedCounter returns the on-chip shared counter value.
+func (m *MEE) SharedCounter() uint64 { return m.sharedCounter }
+
+// MarkInputRange marks [lo, hi) of LOCAL addresses read-only (host→device
+// copy during context initialization).
+func (m *MEE) MarkInputRange(lo, hi memdef.Addr) {
+	if !m.cfg.Enabled {
+		return
+	}
+	m.roPred.MarkInputRange(lo, hi)
+	if m.roOracle != nil {
+		for r := uint64(lo) / m.cfg.ReadOnly.RegionBytes; r <= (uint64(hi)-1)/m.cfg.ReadOnly.RegionBytes; r++ {
+			m.roOracle[r] = true
+		}
+	}
+}
+
+// OraclePreloadReadOnly installs profiling truth for the region range
+// [lo, hi) of local addresses (SHM_upper_bound initialization).
+func (m *MEE) OraclePreloadReadOnly(lo, hi memdef.Addr, ro bool) {
+	if m.roOracle == nil || hi <= lo {
+		return
+	}
+	for r := uint64(lo) / m.cfg.ReadOnly.RegionBytes; r <= (uint64(hi)-1)/m.cfg.ReadOnly.RegionBytes; r++ {
+		if ro {
+			m.roOracle[r] = true
+		} else {
+			delete(m.roOracle, r)
+		}
+	}
+}
+
+// OraclePreloadStreaming installs profiling truth for the chunk range
+// [lo, hi) of local addresses (SHM_upper_bound initialization).
+func (m *MEE) OraclePreloadStreaming(lo, hi memdef.Addr, streaming bool) {
+	if m.stOracle == nil || hi <= lo {
+		return
+	}
+	for c := uint64(lo) / m.cfg.Streaming.ChunkBytes; c <= (uint64(hi)-1)/m.cfg.Streaming.ChunkBytes; c++ {
+		m.stOracle[c] = streaming
+	}
+}
+
+// InputReadOnlyReset implements the paper's new API (§IV-B, Fig. 9) for a
+// LOCAL address range: the command processor scans the per-block counters
+// in the range for the maximum major counter, advances the shared counter
+// past it, and re-marks the regions read-only. The scan's DRAM traffic is
+// charged as counter reads.
+func (m *MEE) InputReadOnlyReset(lo, hi memdef.Addr, now uint64) {
+	if !m.cfg.Enabled || !m.cfg.ReadOnlyOpt || hi <= lo {
+		return
+	}
+	// Scan the counter sectors covering [lo, hi). Consecutive counter
+	// locations scan at high bandwidth (the paper notes the overhead is
+	// negligible); we charge the reads as fire-and-forget traffic.
+	first, _ := m.layout.CounterIndex(lo)
+	last, _ := m.layout.CounterIndex(hi - 1)
+	for cb := first; cb <= last; cb++ {
+		base := m.layout.CounterBlockAddr(cb)
+		for s := 0; s < memdef.SectorsPerBlock; s++ {
+			m.sendMeta(pkMisc, base+memdef.Addr(s*memdef.SectorSize), memdef.Read, stats.TrafficCounter)
+		}
+	}
+	// Advance the shared counter past any major counter in the range so
+	// the reset cannot enable cross-kernel replay. The functional model
+	// tracks real majors; the timing model bumps monotonically.
+	m.sharedCounter++
+	m.roPred.Reset(lo, hi)
+	if m.roOracle != nil {
+		for r := uint64(lo) / m.cfg.ReadOnly.RegionBytes; r <= (uint64(hi)-1)/m.cfg.ReadOnly.RegionBytes; r++ {
+			m.roOracle[r] = true
+		}
+	}
+	m.Reg.Inc("input_readonly_reset")
+	_ = now
+}
+
+// HostOverwrite models a mid-context host→device copy WITHOUT the reset
+// API: the touched regions lose their read-only status.
+func (m *MEE) HostOverwrite(lo, hi memdef.Addr) {
+	if !m.cfg.Enabled || hi <= lo {
+		return
+	}
+	for a := memdef.RegionAddr(lo); a < hi; a += memdef.RegionSize {
+		if m.roPred.OnWrite(a) {
+			m.Reg.Inc("ro_transition_host")
+		}
+		if m.roOracle != nil {
+			delete(m.roOracle, uint64(a)/m.cfg.ReadOnly.RegionBytes)
+		}
+	}
+}
+
+// CanAccept reports whether SubmitRead/SubmitWrite would succeed.
+func (m *MEE) CanAccept() bool { return len(m.input) < m.cfg.InputQueue }
+
+// SubmitRead accepts one L2 sector miss. Returns false when the input
+// queue is full (back-pressure to the L2 bank).
+func (m *MEE) SubmitRead(r memdef.Request, now uint64) bool {
+	if !m.CanAccept() {
+		return false
+	}
+	r.Kind = memdef.Read
+	m.input = append(m.input, r)
+	_ = now
+	return true
+}
+
+// SubmitWrite accepts one dirty L2 sector write-back.
+func (m *MEE) SubmitWrite(r memdef.Request, now uint64) bool {
+	if !m.CanAccept() {
+		return false
+	}
+	r.Kind = memdef.Write
+	m.input = append(m.input, r)
+	_ = now
+	return true
+}
+
+// Idle reports whether the MEE holds no queued or in-flight work.
+func (m *MEE) Idle() bool {
+	return len(m.input) == 0 && len(m.outgoing) == 0 && len(m.pending) == 0 &&
+		len(m.ready) == 0 && len(m.responses) == 0
+}
+
+// Tick advances the MEE one cycle and returns completed read responses.
+func (m *MEE) Tick(now uint64) []memdef.Request {
+	m.lastTick = now
+	// 1. Drain the outgoing buffer into DRAM channels.
+	for len(m.outgoing) > 0 {
+		o := m.outgoing[0]
+		if !m.port.Enqueue(o.part, o.req, now) {
+			break
+		}
+		m.outgoing = m.outgoing[1:]
+	}
+	// 2. Process input requests while there is outgoing headroom.
+	issued := 0
+	for len(m.input) > 0 && issued < m.cfg.IssuePerCycle && len(m.outgoing) < 32 {
+		r := m.input[0]
+		m.input = m.input[1:]
+		if m.cfg.Enabled {
+			m.process(r, now)
+		} else {
+			m.passthrough(r, now)
+		}
+		issued++
+	}
+	// 3. Expire MAT monitoring phases (coarse: every 64 cycles).
+	if m.cfg.Enabled && !m.cfg.OracleDetectors && now%64 == 0 {
+		for _, det := range m.mats.Tick(now) {
+			m.applyDetection(det, now)
+		}
+	}
+	// 4. Release ready responses.
+	for len(m.ready) > 0 && m.ready[0].at <= now {
+		rt := heap.Pop(&m.ready).(readyTxn)
+		m.responses = append(m.responses, rt.t.req)
+	}
+	out := m.responses
+	m.responses = nil
+	return out
+}
+
+// passthrough is the insecure baseline: data requests go straight to DRAM.
+func (m *MEE) passthrough(r memdef.Request, now uint64) {
+	if r.Kind == memdef.Write {
+		m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Write, Class: stats.TrafficData}, pendingEntry{kind: pkMisc})
+		return
+	}
+	t := &txn{req: r, haveOTP: true}
+	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Read, Class: stats.TrafficData}, pendingEntry{kind: pkData, txn: t})
+	_ = now
+}
+
+// send buffers a DRAM request and registers its completion entry. Tokens
+// embed the owning partition in the top bits so the system can route
+// completions from any channel back to the issuing MEE (metadata built from
+// physical addresses crosses partitions).
+func (m *MEE) send(part int, r dram.Req, pe pendingEntry) {
+	m.nextToken++
+	r.Token = TokenFor(m.cfg.Partition, m.nextToken)
+	m.pending[r.Token] = pe
+	m.outgoing = append(m.outgoing, outgoing{part: part, req: r})
+}
+
+// TokenFor builds a DRAM token owned by the given MEE partition.
+func TokenFor(partition int, seq uint64) uint64 {
+	return uint64(partition+1)<<48 | (seq & (1<<48 - 1))
+}
+
+// TokenOwner recovers the owning MEE partition from a token (-1 if the
+// token was not produced by TokenFor).
+func TokenOwner(token uint64) int {
+	return int(token>>48) - 1
+}
+
+// sendMeta routes a metadata sector request. Under LocalMetadata the sector
+// stays in this partition; otherwise the metadata address is physical and
+// is routed to its owning partition.
+func (m *MEE) sendMeta(kind pendingKind, metaAddr memdef.Addr, rw memdef.AccessKind, class stats.TrafficClass) {
+	part := m.cfg.Partition
+	local := metaAddr
+	if !m.cfg.LocalMetadata {
+		part, local = m.pmap.ToLocal(metaAddr)
+	}
+	m.send(part, dram.Req{Local: local, Kind: rw, Class: class}, pendingEntry{kind: kind, key: metaAddr})
+}
+
+// isReadOnly decides the read-only status used by the encryption path:
+// spaces that are read-only by nature (constant/texture/instruction), or
+// regions the detector (or oracle) currently predicts read-only.
+func (m *MEE) isReadOnly(r memdef.Request) bool {
+	if !m.cfg.ReadOnlyOpt {
+		return false
+	}
+	if r.Space.ReadOnlyByNature() {
+		return true
+	}
+	if m.roOracle != nil {
+		return m.roOracle[uint64(r.Local)/m.cfg.ReadOnly.RegionBytes]
+	}
+	return m.roPred.Predict(r.Local)
+}
+
+// isStreaming decides the MAC granularity for the chunk of r.
+func (m *MEE) isStreaming(r memdef.Request) bool {
+	if !m.cfg.DualGranMAC {
+		return false
+	}
+	if m.stOracle != nil {
+		s, ok := m.stOracle[uint64(r.Local)/m.cfg.Streaming.ChunkBytes]
+		if !ok {
+			return true // eager default, like the bit vector
+		}
+		return s
+	}
+	return m.stPred.Predict(r.Local)
+}
+
+// metaAddrFor returns the base address used for metadata derivation: local
+// under PSSM addressing, physical otherwise.
+func (m *MEE) metaAddrFor(r memdef.Request) memdef.Addr {
+	if m.cfg.LocalMetadata {
+		return r.Local
+	}
+	return r.Phys
+}
+
+// counterSectors returns the metadata sectors to fetch for a counter miss:
+// one sector under the sectored organization, the full block otherwise.
+func (m *MEE) counterSectors(metaAddr memdef.Addr) []memdef.Addr {
+	sec := m.layout.CounterSectorFor(metaAddr)
+	if m.cfg.SectoredMetadata {
+		return []memdef.Addr{sec}
+	}
+	base := memdef.BlockAddr(sec)
+	out := make([]memdef.Addr, memdef.SectorsPerBlock)
+	for i := range out {
+		out[i] = base + memdef.Addr(i*memdef.SectorSize)
+	}
+	return out
+}
+
+func (m *MEE) macSectors(macByteAddr memdef.Addr) []memdef.Addr {
+	sec := memdef.SectorAddr(macByteAddr)
+	if m.cfg.SectoredMetadata {
+		return []memdef.Addr{sec}
+	}
+	base := memdef.BlockAddr(macByteAddr)
+	out := make([]memdef.Addr, memdef.SectorsPerBlock)
+	for i := range out {
+		out[i] = base + memdef.Addr(i*memdef.SectorSize)
+	}
+	return out
+}
+
+// aesSchedule books one OTP generation on the pipelined AES engine and
+// returns its completion cycle.
+func (m *MEE) aesSchedule(now uint64) uint64 {
+	if m.aesFree < now {
+		m.aesFree = now
+	}
+	start := m.aesFree
+	m.aesFree++ // pipelined: one issue per cycle
+	return start + m.cfg.AESLatency
+}
+
+// mdcRead performs a metadata-cache read with optional victim-L2 probe,
+// issuing DRAM fetches on miss. avail=true means the sector is usable right
+// now (hit, victim hit, or MSHR-exhaustion fallback); pending=true means a
+// fill for sectors[0] will arrive later (callers may register waiters).
+func (m *MEE) mdcRead(c *cache.Cache, kind pendingKind, sectors []memdef.Addr, class stats.TrafficClass) (avail, pending bool) {
+	primary := sectors[0]
+	switch c.Read(primary) {
+	case cache.Hit:
+		return true, false
+	case cache.MissMerged:
+		return false, true // fetch already in flight
+	case cache.Blocked:
+		// MSHRs exhausted: no fill will ever arrive for this lookup, so
+		// report the sector as available to avoid stranding waiters. The
+		// paper's 256-entry MSHRs make this rare; we count occurrences.
+		m.Reg.Inc("mdc_blocked")
+		return true, false
+	}
+	// MissNew: probe the victim L2 first.
+	if m.victim != nil && m.victim.VictimActive() && m.victim.ProbeVictim(primary) {
+		c.Fill(primary)
+		m.Reg.Inc("victim_hit")
+		return true, false
+	}
+	m.sendMeta(kind, primary, memdef.Read, class)
+	// Non-sectored organizations drag the sibling sectors along.
+	for _, s := range sectors[1:] {
+		if c.Read(s) == cache.MissNew {
+			m.sendMeta(kind, s, memdef.Read, class)
+		}
+	}
+	return false, true
+}
+
+// mdcWrite performs a write-allocate metadata-cache update: on miss the
+// sector is fetched (read-modify-write) and then dirtied. Evicted dirty
+// sectors become DRAM writes; with victim mode active, evictions are also
+// pushed into the L2.
+func (m *MEE) mdcWrite(c *cache.Cache, kind pendingKind, sector memdef.Addr, class stats.TrafficClass) {
+	if !c.Probe(sector) {
+		// Write-allocate: fetch the sector first (unless already being
+		// fetched), then dirty it on arrival — modeled by issuing the
+		// fetch and dirtying immediately (state-only cache).
+		switch c.Read(sector) {
+		case cache.MissNew:
+			if m.victim != nil && m.victim.VictimActive() && m.victim.ProbeVictim(sector) {
+				m.Reg.Inc("victim_hit")
+			} else {
+				m.sendMeta(kind, sector, memdef.Read, class)
+			}
+		case cache.Blocked:
+			m.Reg.Inc("mdc_blocked")
+		}
+		c.Fill(sector)
+	}
+	_, wbs := c.Write(sector)
+	m.spillWritebacks(kind, wbs, class)
+}
+
+func (m *MEE) spillWritebacks(kind pendingKind, wbs []cache.Writeback, class stats.TrafficClass) {
+	for _, wb := range wbs {
+		for s := 0; s < memdef.SectorsPerBlock; s++ {
+			if wb.SectorMask&(1<<uint(s)) == 0 {
+				continue
+			}
+			addr := wb.BlockAddr + memdef.Addr(s*memdef.SectorSize)
+			m.sendMeta(pkMisc, addr, memdef.Write, class)
+			if m.victim != nil && m.victim.VictimActive() {
+				m.victim.PushVictim(addr)
+			}
+		}
+	}
+}
+
+// process handles one data request through the full secure-memory path.
+func (m *MEE) process(r memdef.Request, now uint64) {
+	meta := m.metaAddrFor(r)
+	ro := m.isReadOnly(r)
+	streaming := m.isStreaming(r)
+
+	// Accuracy harness observes the prediction before any state updates.
+	if m.roAcc != nil {
+		m.roAcc.Observe(r.Local, r.Kind == memdef.Write)
+	}
+	if m.stAcc != nil {
+		m.stAcc.Observe(r.Local, r.Kind == memdef.Write)
+	}
+
+	// Access characterization (paper Fig. 5): with oracle truth loaded,
+	// classify every off-chip access as streaming / read-only.
+	if m.stOracle != nil {
+		m.Reg.Inc("access_total")
+		if streaming {
+			m.Reg.Inc("access_streaming")
+		}
+		if ro {
+			m.Reg.Inc("access_readonly")
+		}
+	}
+
+	// Streaming detector observes every off-chip access.
+	if !m.cfg.OracleDetectors && m.cfg.DualGranMAC {
+		if m.trace != nil {
+			m.trace(now, r)
+		}
+		if det, done := m.mats.Observe(r.Local, r.Kind == memdef.Write, now); done {
+			m.applyDetection(det, now)
+		}
+	}
+
+	if r.Kind == memdef.Write {
+		m.processWrite(r, meta, ro, streaming, now)
+		return
+	}
+	m.processRead(r, meta, ro, streaming, now)
+}
+
+func (m *MEE) processRead(r memdef.Request, meta memdef.Addr, ro, streaming bool, now uint64) {
+	t := &txn{req: r}
+
+	// Data fetch always goes to this partition's DRAM.
+	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Read, Class: stats.TrafficData},
+		pendingEntry{kind: pkData, txn: t})
+
+	// Counter path → OTP.
+	switch {
+	case ro:
+		// Shared counter is on chip: OTP generation starts immediately,
+		// no counter fetch, no BMT coverage.
+		t.otpAt = m.aesSchedule(now)
+		t.haveOTP = false
+		m.scheduleOTPKnown(t)
+	case m.cfg.CommonCounters && !m.divergedPage(meta):
+		// Common value known on chip: the counter fetch is saved, but the
+		// page's common/diverged status is itself integrity-tree-covered
+		// state, so the freshness walk is still charged (with normal BMT
+		// cache locality).
+		t.otpAt = m.aesSchedule(now)
+		m.scheduleOTPKnown(t)
+		m.bmtWalk(meta)
+	default:
+		sectors := m.counterSectors(meta)
+		avail, pending := m.mdcRead(m.ctrCache, pkCounter, sectors, stats.TrafficCounter)
+		if avail {
+			t.otpAt = m.aesSchedule(now)
+			m.scheduleOTPKnown(t)
+		} else if pending {
+			// OTP waits for the counter sector; BMT verifies the fetched
+			// counter off the critical path.
+			key := sectors[0]
+			m.ctrWait[key] = append(m.ctrWait[key], t)
+			m.bmtWalk(meta)
+		}
+	}
+
+	// MAC fetch: off the critical path (data is forwarded speculatively;
+	// a verification failure raises an exception later).
+	m.macFetch(meta, streaming, memdef.Read)
+}
+
+func (m *MEE) processWrite(r memdef.Request, meta memdef.Addr, ro, streaming bool, now uint64) {
+	// A write to a read-only-predicted region triggers the RO→not-RO
+	// transition and counter propagation (Fig. 8).
+	if m.cfg.ReadOnlyOpt && !r.Space.ReadOnlyByNature() {
+		transition := false
+		if m.roOracle != nil {
+			region := uint64(r.Local) / m.cfg.ReadOnly.RegionBytes
+			if m.roOracle[region] {
+				delete(m.roOracle, region)
+				transition = true
+			}
+		} else if m.roPred.OnWrite(r.Local) {
+			transition = true
+		}
+		if transition {
+			m.Reg.Inc("ro_transition")
+			m.propagateSharedCounter(r.Local, meta)
+			ro = false
+		}
+	}
+
+	// Counter read-modify-write (skipped while the page still holds the
+	// common value is wrong: a write diverges it).
+	switch {
+	case ro:
+		// Writes never target RO state (cleared above); defensive only.
+	case m.cfg.CommonCounters && !m.divergedPage(meta):
+		m.divergePage(meta)
+		// Counters are architecturally known (common value): install the
+		// diverged counters as dirty without a fetch.
+		m.mdcInstallDirty(m.ctrCache, m.layout.CounterSectorFor(meta), stats.TrafficCounter)
+		m.bmtLeafUpdate(meta)
+	default:
+		m.mdcWrite(m.ctrCache, pkCounter, m.layout.CounterSectorFor(meta), stats.TrafficCounter)
+		m.bmtLeafUpdate(meta)
+	}
+
+	// MAC update.
+	if streaming {
+		// Per-chunk MAC: update the chunk MAC (dirty); per-block MACs are
+		// produced but marked not-dirty (no write traffic).
+		m.mdcWrite(m.macCache, pkMAC, memdef.SectorAddr(m.layout.ChunkMACAddr(meta)), stats.TrafficMAC)
+	} else {
+		m.mdcWrite(m.macCache, pkMAC, memdef.SectorAddr(m.layout.BlockMACAddr(meta)), stats.TrafficMAC)
+	}
+
+	// Ciphertext write to DRAM (posted; encryption latency off critical
+	// path, AES occupancy booked).
+	m.aesSchedule(now)
+	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Write, Class: stats.TrafficData},
+		pendingEntry{kind: pkMisc})
+}
+
+// mdcInstallDirty installs a sector as dirty without a backing fetch
+// (contents architecturally known, e.g. diverging common counters).
+func (m *MEE) mdcInstallDirty(c *cache.Cache, sector memdef.Addr, class stats.TrafficClass) {
+	_, wbs := c.Write(sector)
+	var kind pendingKind
+	switch class {
+	case stats.TrafficCounter:
+		kind = pkCounter
+	case stats.TrafficMAC:
+		kind = pkMAC
+	default:
+		kind = pkBMT
+	}
+	m.spillWritebacks(kind, wbs, class)
+}
+
+// divergedPage reports whether the counter page (counter-block coverage,
+// 8 KB) of meta has left the common-counter state.
+func (m *MEE) divergedPage(meta memdef.Addr) bool {
+	cb, _ := m.layout.CounterIndex(meta)
+	return m.diverged[cb]
+}
+
+func (m *MEE) divergePage(meta memdef.Addr) {
+	cb, _ := m.layout.CounterIndex(meta)
+	if !m.diverged[cb] {
+		m.diverged[cb] = true
+		m.Reg.Inc("cctr_diverged")
+	}
+}
+
+// propagateSharedCounter performs the Fig. 8 burst: the region's counter
+// blocks take the shared counter as their major counter (dirty counter-
+// cache updates) and the BMT grows to cover them (leaf updates).
+func (m *MEE) propagateSharedCounter(local, meta memdef.Addr) {
+	regionMeta := memdef.RegionAddr(meta)
+	for off := memdef.Addr(0); off < memdef.RegionSize; off += metadata.CounterCoverage {
+		blockMeta := regionMeta + off
+		base, _ := m.layout.CounterAddrFor(blockMeta)
+		for s := 0; s < memdef.SectorsPerBlock; s++ {
+			m.mdcInstallDirty(m.ctrCache, base+memdef.Addr(s*memdef.SectorSize), stats.TrafficCounter)
+		}
+		m.bmtLeafUpdate(blockMeta)
+	}
+	_ = local
+}
+
+// bmtWalk charges the read-path BMT traversal for a counter miss: walk up
+// the stored levels until a BMT-cache hit (a cached node is trusted and
+// terminates verification, per Rogers et al.).
+func (m *MEE) bmtWalk(meta memdef.Addr) {
+	if m.layout.BMTLevels() == 0 {
+		return
+	}
+	cb, _ := m.layout.CounterIndex(meta)
+	path, _ := m.layout.BMTPathForCounter(cb)
+	for _, nodeAddr := range path {
+		sector := memdef.SectorAddr(nodeAddr) // node hash lives in its first sector region; sector granularity
+		hit, _ := m.mdcRead(m.bmtCache, pkBMT, m.bmtSectors(sector), stats.TrafficBMT)
+		if hit {
+			return
+		}
+	}
+}
+
+func (m *MEE) bmtSectors(sector memdef.Addr) []memdef.Addr {
+	if m.cfg.SectoredMetadata {
+		return []memdef.Addr{sector}
+	}
+	base := memdef.BlockAddr(sector)
+	out := make([]memdef.Addr, memdef.SectorsPerBlock)
+	for i := range out {
+		out[i] = base + memdef.Addr(i*memdef.SectorSize)
+	}
+	return out
+}
+
+// bmtLeafUpdate charges the write-path BMT work for a counter update: the
+// leaf node sector is dirtied in the BMT cache (write-allocate). Dirty BMT
+// evictions cascade naturally through spillWritebacks.
+func (m *MEE) bmtLeafUpdate(meta memdef.Addr) {
+	if m.layout.BMTLevels() == 0 {
+		return
+	}
+	cb, _ := m.layout.CounterIndex(meta)
+	path, slots := m.layout.BMTPathForCounter(cb)
+	leafSector := path[0] + memdef.Addr((slots[0]*metadata.HashSize/memdef.SectorSize)*memdef.SectorSize)
+	m.mdcWrite(m.bmtCache, pkBMT, leafSector, stats.TrafficBMT)
+}
+
+// macFetch charges the integrity-verification fetch for a read or the
+// pre-update fetch check for a write.
+func (m *MEE) macFetch(meta memdef.Addr, streaming bool, kind memdef.AccessKind) {
+	var addr memdef.Addr
+	if streaming {
+		addr = m.layout.ChunkMACAddr(meta)
+	} else {
+		addr = m.layout.BlockMACAddr(meta)
+	}
+	m.mdcRead(m.macCache, pkMAC, m.macSectors(addr), stats.TrafficMAC)
+	_ = kind
+}
+
+// scheduleOTPKnown finalizes a txn whose OTP completion time is known.
+func (m *MEE) scheduleOTPKnown(t *txn) {
+	t.haveOTP = true
+	m.maybeReady(t)
+}
+
+func (m *MEE) maybeReady(t *txn) {
+	if t.enqueued || !t.haveOTP || !t.haveData {
+		return
+	}
+	at := t.dataAt
+	if t.otpAt > at {
+		at = t.otpAt
+	}
+	// One cycle for the XOR/decrypt stage.
+	heap.Push(&m.ready, readyTxn{at: at + 1, t: t})
+	t.enqueued = true
+}
+
+// applyDetection implements the Tables III/IV misprediction handling when a
+// MAT monitoring phase completes, then trains the predictor.
+func (m *MEE) applyDetection(det detectors.Detection, now uint64) {
+	if det.Accesses == 0 {
+		// A monitor armed ahead of the stream that never saw an access
+		// carries no information; do not train or recover.
+		m.Reg.Inc("det_empty")
+		return
+	}
+	if det.Streaming {
+		m.Reg.Inc("det_stream")
+	} else {
+		m.Reg.Inc("det_random")
+	}
+	if det.TimedOut {
+		m.Reg.Inc("det_timeout")
+		m.Reg.Add("det_timeout_accesses", uint64(det.Accesses))
+		m.Reg.Inc(fmt.Sprintf("det_timeout_bucket_%d", det.Accesses/8))
+	}
+	chunkBase := memdef.Addr(det.Chunk * m.cfg.Streaming.ChunkBytes)
+	predictedStreaming := m.stPred.Predict(chunkBase)
+	ro := m.cfg.ReadOnlyOpt && m.roPred.Predict(chunkBase)
+
+	switch {
+	case predictedStreaming == det.Streaming:
+		// Correct prediction: zero additional bandwidth.
+	case predictedStreaming && !det.Streaming:
+		// Stream mispredicted; chunk is actually random.
+		if det.HadWrite || !ro {
+			// Re-fetch all data blocks in the chunk to (re)produce the
+			// per-block MACs (read in a non-RO region, or any write).
+			m.Reg.Inc("mp_refetch_chunk_data")
+			for b := 0; b < memdef.BlocksPerChunk; b++ {
+				for s := 0; s < memdef.SectorsPerBlock; s++ {
+					a := chunkBase + memdef.Addr(b*memdef.BlockSize+s*memdef.SectorSize)
+					m.send(m.cfg.Partition, dram.Req{Local: a, Kind: memdef.Read, Class: stats.TrafficMispredict},
+						pendingEntry{kind: pkMisc})
+				}
+			}
+		} else {
+			// Read in an RO region: per-block MACs are up to date; only
+			// re-fetch them for the accessed blocks.
+			m.Reg.Inc("mp_refetch_blk_macs")
+			macLo := m.layout.BlockMACAddr(chunkBase)
+			macHi := m.layout.BlockMACAddr(chunkBase + memdef.ChunkSize - 1)
+			for a := memdef.SectorAddr(macLo); a <= macHi; a += memdef.SectorSize {
+				m.sendMeta(pkMisc, a, memdef.Read, stats.TrafficMispredict)
+			}
+		}
+	case !predictedStreaming && det.Streaming:
+		// Random mispredicted; chunk actually streams.
+		if det.HadWrite {
+			// Write stream: just produce and update the chunk MAC.
+			m.mdcWrite(m.macCache, pkMAC, memdef.SectorAddr(m.layout.ChunkMACAddr(chunkBase)), stats.TrafficMAC)
+			m.Reg.Inc("mp_update_chunk_mac")
+		} else if !ro {
+			// Read stream in a non-RO region: re-fetch the chunk MAC.
+			m.Reg.Inc("mp_refetch_chunk_mac")
+			m.sendMeta(pkMisc, memdef.SectorAddr(m.layout.ChunkMACAddr(chunkBase)), memdef.Read, stats.TrafficMispredict)
+		}
+		// RO read stream: per-block MACs were valid; zero overhead.
+	}
+	m.stPred.Train(det.Chunk, det.Streaming)
+	_ = now
+}
+
+// OnDRAMComplete routes a finished DRAM request back into the MEE.
+func (m *MEE) OnDRAMComplete(token uint64, now uint64) {
+	pe, ok := m.pending[token]
+	if !ok {
+		return
+	}
+	delete(m.pending, token)
+	switch pe.kind {
+	case pkData:
+		pe.txn.haveData = true
+		pe.txn.dataAt = now
+		m.maybeReady(pe.txn)
+	case pkCounter:
+		m.ctrCache.Fill(pe.key)
+		for _, t := range m.ctrWait[pe.key] {
+			t.otpAt = m.aesSchedule(now)
+			m.scheduleOTPKnown(t)
+		}
+		delete(m.ctrWait, pe.key)
+	case pkMAC:
+		m.macCache.Fill(pe.key)
+	case pkBMT:
+		m.bmtCache.Fill(pe.key)
+	case pkMisc:
+		// Fire-and-forget traffic: nothing to do.
+	}
+}
+
+// FlushKernel drains detector state at a kernel boundary: active MAT phases
+// finalize (with misprediction handling) exactly as on timeout.
+func (m *MEE) FlushKernel(now uint64) {
+	if !m.cfg.Enabled || m.cfg.OracleDetectors {
+		return
+	}
+	for _, det := range m.mats.Flush() {
+		m.applyDetection(det, now)
+	}
+}
+
+// FlushMetadata writes back all dirty metadata cache state (kernel/context
+// boundary). The MEE must be Idle (drained) first.
+func (m *MEE) FlushMetadata() {
+	if !m.cfg.Enabled {
+		return
+	}
+	m.spillWritebacks(pkCounter, m.ctrCache.FlushAll(), stats.TrafficCounter)
+	m.spillWritebacks(pkMAC, m.macCache.FlushAll(), stats.TrafficMAC)
+	m.spillWritebacks(pkBMT, m.bmtCache.FlushAll(), stats.TrafficBMT)
+}
+
+// AccuracyResults finalizes and returns the Fig. 10/11 breakdowns. Call
+// once at end of run; requires TrackAccuracy.
+func (m *MEE) AccuracyResults() (ro, st stats.PredictorStats) {
+	if m.roAcc != nil {
+		ro = m.roAcc.Finalize()
+	}
+	if m.stAcc != nil {
+		st = m.stAcc.Finalize()
+	}
+	return ro, st
+}
+
+// MATStats exposes tracker utilization (monitored chunks, skipped accesses).
+func (m *MEE) MATStats() (monitored, skipped uint64) {
+	if m.mats == nil {
+		return 0, 0
+	}
+	return m.mats.Monitored, m.mats.Skipped
+}

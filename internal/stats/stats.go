@@ -1,0 +1,265 @@
+// Package stats provides the counter registry and traffic accounting used by
+// every component of the simulator: instruction/cycle counts, per-class DRAM
+// byte counters (regular data vs. the different classes of security
+// metadata), cache hit/miss counters, and predictor-accuracy breakdowns.
+//
+// All counters are plain uint64s behind small structs; the simulator is
+// single-goroutine per run, so no synchronization is needed on the hot path.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TrafficClass labels a DRAM transfer with the purpose of the bytes moved,
+// so the bandwidth-overhead breakdown of paper Fig. 14 can be reconstructed.
+type TrafficClass uint8
+
+const (
+	// TrafficData is regular application data.
+	TrafficData TrafficClass = iota
+	// TrafficCounter is encryption-counter metadata.
+	TrafficCounter
+	// TrafficMAC is per-block or per-chunk MAC metadata.
+	TrafficMAC
+	// TrafficBMT is Bonsai Merkle Tree node metadata.
+	TrafficBMT
+	// TrafficMispredict is extra data/metadata re-fetch traffic caused by
+	// detector mispredictions (Tables III/IV of the paper).
+	TrafficMispredict
+	numTrafficClasses
+)
+
+// NumTrafficClasses is the number of traffic classes.
+const NumTrafficClasses = int(numTrafficClasses)
+
+var trafficNames = [...]string{
+	TrafficData:       "data",
+	TrafficCounter:    "counter",
+	TrafficMAC:        "mac",
+	TrafficBMT:        "bmt",
+	TrafficMispredict: "mispredict",
+}
+
+// String returns the class name used in reports.
+func (c TrafficClass) String() string {
+	if int(c) < len(trafficNames) {
+		return trafficNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Traffic accumulates DRAM bytes moved per class and direction.
+type Traffic struct {
+	ReadBytes  [NumTrafficClasses]uint64
+	WriteBytes [NumTrafficClasses]uint64
+}
+
+// AddRead records n bytes read from DRAM for class c.
+func (t *Traffic) AddRead(c TrafficClass, n uint64) { t.ReadBytes[c] += n }
+
+// AddWrite records n bytes written to DRAM for class c.
+func (t *Traffic) AddWrite(c TrafficClass, n uint64) { t.WriteBytes[c] += n }
+
+// Bytes returns total bytes (read+write) for class c.
+func (t *Traffic) Bytes(c TrafficClass) uint64 { return t.ReadBytes[c] + t.WriteBytes[c] }
+
+// DataBytes returns total regular-data bytes.
+func (t *Traffic) DataBytes() uint64 { return t.Bytes(TrafficData) }
+
+// MetadataBytes returns total security-metadata bytes, including
+// misprediction overhead traffic.
+func (t *Traffic) MetadataBytes() uint64 {
+	var sum uint64
+	for c := TrafficCounter; c < TrafficClass(NumTrafficClasses); c++ {
+		sum += t.Bytes(c)
+	}
+	return sum
+}
+
+// TotalBytes returns all bytes moved.
+func (t *Traffic) TotalBytes() uint64 { return t.DataBytes() + t.MetadataBytes() }
+
+// OverheadRatio returns metadata bytes as a fraction of data bytes
+// (the paper's "bandwidth overhead normalized to regular data bandwidth").
+// Returns 0 when no data moved.
+func (t *Traffic) OverheadRatio() float64 {
+	d := t.DataBytes()
+	if d == 0 {
+		return 0
+	}
+	return float64(t.MetadataBytes()) / float64(d)
+}
+
+// Merge adds other into t.
+func (t *Traffic) Merge(other *Traffic) {
+	for i := 0; i < NumTrafficClasses; i++ {
+		t.ReadBytes[i] += other.ReadBytes[i]
+		t.WriteBytes[i] += other.WriteBytes[i]
+	}
+}
+
+// CacheStats counts accesses to one cache.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	MSHRMerges uint64
+	Evictions  uint64
+	Writebacks uint64
+	// SectorFills counts sectors fetched on misses.
+	SectorFills uint64
+}
+
+// Accesses returns hits+misses.
+func (c *CacheStats) Accesses() uint64 { return c.Hits + c.Misses }
+
+// MissRate returns the miss ratio in [0,1]; 0 when no accesses.
+func (c *CacheStats) MissRate() float64 {
+	a := c.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(a)
+}
+
+// Merge adds other into c.
+func (c *CacheStats) Merge(other *CacheStats) {
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.MSHRMerges += other.MSHRMerges
+	c.Evictions += other.Evictions
+	c.Writebacks += other.Writebacks
+	c.SectorFills += other.SectorFills
+}
+
+// PredictorOutcome classifies one prediction for the accuracy breakdowns of
+// paper Figs. 10 and 11.
+type PredictorOutcome uint8
+
+const (
+	// OutcomeCorrect is a correct prediction.
+	OutcomeCorrect PredictorOutcome = iota
+	// OutcomeMPInit is a misprediction caused by predictor initialization
+	// (the default value had not been trained yet).
+	OutcomeMPInit
+	// OutcomeMPAliasing is a misprediction caused by distinct regions or
+	// chunks sharing a predictor entry.
+	OutcomeMPAliasing
+	// OutcomeMPRuntimeRO is a misprediction caused by a runtime pattern
+	// change in a read-only region (streaming predictor only).
+	OutcomeMPRuntimeRO
+	// OutcomeMPRuntimeNonRO is a misprediction caused by a runtime pattern
+	// change in a non-read-only region (streaming predictor only).
+	OutcomeMPRuntimeNonRO
+	numOutcomes
+)
+
+// NumPredictorOutcomes is the number of outcome classes.
+const NumPredictorOutcomes = int(numOutcomes)
+
+var outcomeNames = [...]string{
+	OutcomeCorrect:        "Correct-Prediction",
+	OutcomeMPInit:         "MP_Init",
+	OutcomeMPAliasing:     "MP_Aliasing",
+	OutcomeMPRuntimeRO:    "MP_Runtime_Read_Only",
+	OutcomeMPRuntimeNonRO: "MP_Runtime_Non_Read_Only",
+}
+
+// String returns the paper's label for the outcome class.
+func (o PredictorOutcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// PredictorStats accumulates the prediction-outcome breakdown.
+type PredictorStats struct {
+	Counts [NumPredictorOutcomes]uint64
+}
+
+// Record adds one outcome.
+func (p *PredictorStats) Record(o PredictorOutcome) { p.Counts[o]++ }
+
+// Total returns the number of predictions recorded.
+func (p *PredictorStats) Total() uint64 {
+	var sum uint64
+	for _, c := range p.Counts {
+		sum += c
+	}
+	return sum
+}
+
+// Accuracy returns the fraction of correct predictions; 1 when empty.
+func (p *PredictorStats) Accuracy() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(p.Counts[OutcomeCorrect]) / float64(t)
+}
+
+// Fraction returns the fraction of predictions with outcome o.
+func (p *PredictorStats) Fraction(o PredictorOutcome) float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Counts[o]) / float64(t)
+}
+
+// Merge adds other into p.
+func (p *PredictorStats) Merge(other *PredictorStats) {
+	for i := range p.Counts {
+		p.Counts[i] += other.Counts[i]
+	}
+}
+
+// Registry is a named grab-bag of scalar counters for ad-hoc instrumentation
+// (detector events, MEE pipeline occupancy, etc.). The zero value is ready
+// to use.
+type Registry struct {
+	counters map[string]uint64
+}
+
+// Add increments counter name by n.
+func (r *Registry) Add(name string, n uint64) {
+	if r.counters == nil {
+		r.counters = make(map[string]uint64)
+	}
+	r.counters[name] += n
+}
+
+// Inc increments counter name by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Get returns the value of counter name (0 if never touched).
+func (r *Registry) Get(name string) uint64 { return r.counters[name] }
+
+// Names returns all counter names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all counters from other into r.
+func (r *Registry) Merge(other *Registry) {
+	for n, v := range other.counters {
+		r.Add(n, v)
+	}
+}
+
+// String renders the registry for debugging.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, n := range r.Names() {
+		fmt.Fprintf(&b, "%s=%d ", n, r.counters[n])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,374 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"shmgpu/internal/memdef"
+)
+
+// The sixteen benchmark models of paper Table VII. Each Spec is tuned to
+// the benchmark's published characteristics:
+//
+//   - bandwidth utilization band (Table VII) via ComputePerMem,
+//   - streaming vs. random off-chip access ratio (Fig. 5) via patterns,
+//   - read-only access ratio (Fig. 5) via buffer read-only flags,
+//   - constant/texture usage (Table VII) via memory spaces,
+//   - write intensity and multi-kernel structure from the benchmark's
+//     documented algorithm (Rodinia / Parboil / Polybench sources).
+//
+// Footprints are scaled down uniformly from the real inputs so simulations
+// complete quickly; the secure-memory designs only react to the access
+// stream's structure, which is preserved.
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// Registry returns the benchmark constructors keyed by name.
+func Registry() map[string]func() *Bench {
+	return map[string]func() *Bench{
+		"atax":          Atax,
+		"backprop":      Backprop,
+		"bfs":           BFS,
+		"b+tree":        BTree,
+		"cfd":           CFD,
+		"fdtd2d":        FDTD2D,
+		"kmeans":        Kmeans,
+		"mvt":           MVT,
+		"histo":         Histo,
+		"lbm":           LBM,
+		"mri-gridding":  MRIGridding,
+		"sad":           SAD,
+		"stencil":       StencilBench,
+		"srad":          SRAD,
+		"srad_v2":       SRADv2,
+		"streamcluster": StreamCluster,
+	}
+}
+
+// Names returns the benchmark names in the paper's (alphabetical-ish)
+// Table VII order.
+func Names() []string {
+	names := make([]string, 0, 16)
+	for n := range Registry() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds one benchmark by name.
+func ByName(name string) (*Bench, error) {
+	ctor, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return ctor(), nil
+}
+
+// MemoryIntensive returns the 15 memory-intensive workloads used for the
+// overall-performance averages (Figs. 12-16); b+tree is the compute-bound
+// one excluded from the 15-benchmark averages.
+func MemoryIntensive() []string {
+	var out []string
+	for _, n := range Names() {
+		if n == "b+tree" {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Atax: matrix-vector product then transpose product (Polybench). Large
+// read-only matrix streamed twice; vectors gathered; tiny write stream.
+// Low bandwidth utilization (23%), high read-only and streaming ratios.
+func Atax() *Bench {
+	return MustNew(Spec{
+		BenchName: "atax",
+		Buffers: []Buffer{
+			{Name: "A", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.78, HostCopied: true},
+			{Name: "x", Bytes: 64 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.12, HostCopied: true},
+			{Name: "y", Bytes: 256 * kb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.85, Weight: 0.10},
+		},
+		ComputePerMem:   46,
+		KernelCount:     2,
+		MemInstsPerWarp: 220,
+		Seed:            101,
+	})
+}
+
+// Backprop: neural-network training (Rodinia). Weight matrices streamed
+// (read-only in the forward kernel, updated in backward), activations RW.
+func Backprop() *Bench {
+	return MustNew(Spec{
+		BenchName: "backprop",
+		Buffers: []Buffer{
+			{Name: "weights", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.20, Weight: 0.55, HostCopied: true},
+			{Name: "input", Bytes: 4 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.30, HostCopied: true},
+			{Name: "deltas", Bytes: 1 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.5, Weight: 0.10},
+			{Name: "params", Bytes: 64 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.05, HostCopied: true},
+		},
+		ComputePerMem:   26,
+		KernelCount:     2,
+		MemInstsPerWarp: 260,
+		Seed:            102,
+	})
+}
+
+// BFS: breadth-first search (Rodinia). Graph structure read-only but
+// randomly accessed; frontier/cost arrays randomly written. The paper's
+// problem case: random + write-intensive.
+func BFS() *Bench {
+	return MustNew(Spec{
+		BenchName: "bfs",
+		Buffers: []Buffer{
+			{Name: "nodes", Bytes: 4 * mb, Space: memdef.SpaceGlobal, Pattern: Random, ReadOnly: true, Weight: 0.35, HostCopied: true},
+			{Name: "edges", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Random, ReadOnly: true, Weight: 0.30, HostCopied: true},
+			{Name: "cost", Bytes: 2 * mb, Space: memdef.SpaceGlobal, Pattern: Random, WriteFrac: 0.55, Weight: 0.25},
+			{Name: "frontier", Bytes: 1 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.5, Weight: 0.08},
+			{Name: "params", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.02, HostCopied: true},
+		},
+		ComputePerMem:   34,
+		KernelCount:     3,
+		MemInstsPerWarp: 190,
+		Seed:            103,
+	})
+}
+
+// BTree: B+tree lookups (Rodinia). Read-only tree, random traversal, very
+// low bandwidth (12-15%): the compute-bound outlier.
+func BTree() *Bench {
+	return MustNew(Spec{
+		BenchName: "b+tree",
+		Buffers: []Buffer{
+			{Name: "tree", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Random, ReadOnly: true, Weight: 0.70, HostCopied: true},
+			{Name: "keys", Bytes: 1 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.20, HostCopied: true},
+			{Name: "results", Bytes: 512 * kb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.9, Weight: 0.08},
+			{Name: "order", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.02, HostCopied: true},
+		},
+		ComputePerMem:   95,
+		KernelCount:     1,
+		MemInstsPerWarp: 150,
+		Seed:            104,
+	})
+}
+
+// CFD: unstructured-grid Euler solver (Rodinia). Streams over element
+// data with read-only geometry; moderate-to-high utilization (27-75%).
+func CFD() *Bench {
+	return MustNew(Spec{
+		BenchName: "cfd",
+		Buffers: []Buffer{
+			{Name: "variables", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.30, Weight: 0.45},
+			{Name: "areas", Bytes: 4 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.25, HostCopied: true},
+			{Name: "neighbors", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.25, HostCopied: true},
+			{Name: "constants", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.05, HostCopied: true},
+		},
+		ComputePerMem:   13,
+		KernelCount:     2,
+		MemInstsPerWarp: 300,
+		Seed:            105,
+	})
+}
+
+// FDTD2D: 2-D finite-difference time domain (Polybench). Near-perfect
+// streaming (99.35%) and read-only ratio (99.87%), 90-93% bandwidth
+// utilization: SHM's showcase.
+func FDTD2D() *Bench {
+	return MustNew(Spec{
+		BenchName: "fdtd2d",
+		Buffers: []Buffer{
+			{Name: "ex", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.32, HostCopied: true},
+			{Name: "ey", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.32, HostCopied: true},
+			{Name: "hz", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.30, HostCopied: true},
+			{Name: "out", Bytes: 2 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.92, Weight: 0.05},
+			{Name: "coef", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.01, HostCopied: true},
+		},
+		ComputePerMem:   8,
+		KernelCount:     2,
+		RewriteInputs:   true,
+		UseResetAPI:     true,
+		MemInstsPerWarp: 300,
+		Seed:            106,
+	})
+}
+
+// Kmeans: k-means clustering (Rodinia). Feature matrix bound as texture
+// (27.75% of L2 misses), streamed+gathered read-only; membership written.
+// High utilization (67-81%).
+func Kmeans() *Bench {
+	return MustNew(Spec{
+		BenchName: "kmeans",
+		Buffers: []Buffer{
+			{Name: "features-tex", Bytes: 10 * mb, Space: memdef.SpaceTexture, Pattern: Gather, ReadOnly: true, Weight: 0.30, HostCopied: true},
+			{Name: "features", Bytes: 10 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.50, HostCopied: true},
+			{Name: "centroids", Bytes: 64 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.08, HostCopied: true},
+			{Name: "membership", Bytes: 1 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.8, Weight: 0.12},
+		},
+		ComputePerMem:   11,
+		KernelCount:     2,
+		MemInstsPerWarp: 340,
+		Seed:            107,
+	})
+}
+
+// MVT: matrix-vector product and transpose (Polybench), like atax: big
+// read-only matrix, low utilization (22%).
+func MVT() *Bench {
+	return MustNew(Spec{
+		BenchName: "mvt",
+		Buffers: []Buffer{
+			{Name: "A", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.80, HostCopied: true},
+			{Name: "x1x2", Bytes: 128 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.10, HostCopied: true},
+			{Name: "y", Bytes: 256 * kb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.8, Weight: 0.10},
+		},
+		ComputePerMem:   48,
+		KernelCount:     2,
+		MemInstsPerWarp: 220,
+		Seed:            108,
+	})
+}
+
+// Histo: histogramming (Parboil). Input streamed read-only; bins written
+// randomly (scatter). 55% utilization.
+func Histo() *Bench {
+	return MustNew(Spec{
+		BenchName: "histo",
+		Buffers: []Buffer{
+			{Name: "input", Bytes: 12 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.62, HostCopied: true},
+			{Name: "bins", Bytes: 2 * mb, Space: memdef.SpaceGlobal, Pattern: Random, WriteFrac: 0.65, Weight: 0.35},
+			{Name: "params", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.03, HostCopied: true},
+		},
+		ComputePerMem:   16,
+		KernelCount:     1,
+		MemInstsPerWarp: 320,
+		Seed:            109,
+	})
+}
+
+// LBM: Lattice-Boltzmann (Parboil). Two big grids: stream-read source,
+// stream-write destination (~50% writes). 95% utilization, very high L2
+// miss rate: the victim-cache beneficiary.
+func LBM() *Bench {
+	return MustNew(Spec{
+		BenchName: "lbm",
+		Buffers: []Buffer{
+			{Name: "src", Bytes: 12 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.50, HostCopied: true},
+			{Name: "dst", Bytes: 12 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.96, Weight: 0.48},
+			{Name: "params", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.02, HostCopied: true},
+		},
+		ComputePerMem:   7,
+		KernelCount:     2,
+		RewriteInputs:   true,
+		MemInstsPerWarp: 420,
+		Seed:            110,
+	})
+}
+
+// MRIGridding: MRI gridding (Parboil). Scattered sample reads and grid
+// writes: random and write-intensive, 30-47% utilization. The other SHM
+// problem case.
+func MRIGridding() *Bench {
+	return MustNew(Spec{
+		BenchName: "mri-gridding",
+		Buffers: []Buffer{
+			{Name: "samples", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.40, HostCopied: true},
+			{Name: "grid", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Random, WriteFrac: 0.70, Weight: 0.55},
+			{Name: "kernel-table", Bytes: 64 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.05, HostCopied: true},
+		},
+		ComputePerMem:   22,
+		KernelCount:     1,
+		MemInstsPerWarp: 260,
+		Seed:            111,
+	})
+}
+
+// SAD: sum of absolute differences (Parboil). Reference frame bound as
+// texture; current frame streamed; results written. 17% utilization but
+// poor L2 locality: second victim-cache beneficiary.
+func SAD() *Bench {
+	return MustNew(Spec{
+		BenchName: "sad",
+		Buffers: []Buffer{
+			{Name: "ref-tex", Bytes: 6 * mb, Space: memdef.SpaceTexture, Pattern: Gather, ReadOnly: true, Weight: 0.40, HostCopied: true},
+			{Name: "cur", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.35, HostCopied: true},
+			{Name: "sad-out", Bytes: 4 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.9, Weight: 0.23},
+			{Name: "params", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.02, HostCopied: true},
+		},
+		ComputePerMem:   60,
+		KernelCount:     1,
+		MemInstsPerWarp: 200,
+		Seed:            112,
+	})
+}
+
+// StencilBench: 3-D Jacobi stencil (Parboil). Streaming with neighbor
+// touches; 11-42% utilization.
+func StencilBench() *Bench {
+	return MustNew(Spec{
+		BenchName: "stencil",
+		Buffers: []Buffer{
+			{Name: "in", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stencil, ReadOnly: true, Weight: 0.70, HostCopied: true},
+			{Name: "out", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, WriteFrac: 0.92, Weight: 0.28},
+			{Name: "coef", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.02, HostCopied: true},
+		},
+		ComputePerMem:   30,
+		KernelCount:     2,
+		RewriteInputs:   true,
+		MemInstsPerWarp: 240,
+		Seed:            113,
+	})
+}
+
+// SRAD: speckle-reducing anisotropic diffusion (Rodinia), v1: moderate
+// utilization (20-22%), image streamed RW.
+func SRAD() *Bench {
+	return MustNew(Spec{
+		BenchName: "srad",
+		Buffers: []Buffer{
+			{Name: "image", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Stencil, WriteFrac: 0.25, Weight: 0.60},
+			{Name: "coeffs", Bytes: 6 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.35, HostCopied: true},
+			{Name: "params", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.05, HostCopied: true},
+		},
+		ComputePerMem:   42,
+		KernelCount:     2,
+		MemInstsPerWarp: 220,
+		Seed:            114,
+	})
+}
+
+// SRADv2: the high-utilization variant (72-78%).
+func SRADv2() *Bench {
+	return MustNew(Spec{
+		BenchName: "srad_v2",
+		Buffers: []Buffer{
+			{Name: "image", Bytes: 10 * mb, Space: memdef.SpaceGlobal, Pattern: Stencil, WriteFrac: 0.25, Weight: 0.55},
+			{Name: "north-south", Bytes: 8 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.40, HostCopied: true},
+			{Name: "params", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.05, HostCopied: true},
+		},
+		ComputePerMem:   11,
+		KernelCount:     2,
+		MemInstsPerWarp: 340,
+		Seed:            115,
+	})
+}
+
+// StreamCluster: online clustering (Rodinia). Point coordinates streamed
+// read-only repeatedly (multi-pass); 78% utilization.
+func StreamCluster() *Bench {
+	return MustNew(Spec{
+		BenchName: "streamcluster",
+		Buffers: []Buffer{
+			{Name: "points", Bytes: 10 * mb, Space: memdef.SpaceGlobal, Pattern: Stream, ReadOnly: true, Weight: 0.80, HostCopied: true},
+			{Name: "centers", Bytes: 512 * kb, Space: memdef.SpaceGlobal, Pattern: Random, WriteFrac: 0.30, Weight: 0.15},
+			{Name: "weights", Bytes: 16 * kb, Space: memdef.SpaceConstant, Pattern: Gather, ReadOnly: true, Weight: 0.05, HostCopied: true},
+		},
+		ComputePerMem:   10,
+		KernelCount:     2,
+		MemInstsPerWarp: 360,
+		Seed:            116,
+	})
+}

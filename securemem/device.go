@@ -1,0 +1,211 @@
+package securemem
+
+import (
+	"fmt"
+	"sort"
+
+	"shmgpu/internal/memdef"
+)
+
+// Space identifies the GPU memory space a buffer is bound to, mirroring the
+// heterogeneous memory model of the paper's Table I. Off-chip spaces get
+// the security treatment of their row: global memory needs C+I+F; constant
+// and texture memory are read-only by nature and need only C+I.
+type Space = memdef.Space
+
+// Re-exported space constants for buffer allocation.
+const (
+	SpaceGlobal   = memdef.SpaceGlobal
+	SpaceConstant = memdef.SpaceConstant
+	SpaceTexture  = memdef.SpaceTexture
+)
+
+// Buffer is one device allocation.
+type Buffer struct {
+	name  string
+	addr  memdef.Addr
+	size  uint64
+	space Space
+	dev   *Device
+	freed bool
+}
+
+// Name returns the allocation label.
+func (b *Buffer) Name() string { return b.name }
+
+// Addr returns the buffer's device address.
+func (b *Buffer) Addr() memdef.Addr { return b.addr }
+
+// Size returns the usable size in bytes.
+func (b *Buffer) Size() uint64 { return b.size }
+
+// Space returns the memory space the buffer is bound to.
+func (b *Buffer) Space() Space { return b.space }
+
+// Device wraps a protected Memory with an allocator and the host-side
+// runtime operations of the GPU programming model: Malloc/Free,
+// MemcpyHtoD/MemcpyDtoH, and kernel-side Load/Store — a small CUDA-runtime
+// lookalike over the secure memory.
+//
+// Host→device copies into constant or texture buffers, and copies that the
+// application declares read-only (as OpenCL read buffers do), take the
+// paper's read-only fast path: shared-counter encryption with no
+// integrity-tree coverage. Kernel-side stores to such buffers trigger the
+// architectural RO→RW transition (global memory) or are rejected outright
+// (constant/texture, which the programming model forbids writing).
+type Device struct {
+	mem    *Memory
+	allocs map[string]*Buffer
+	// next is the allocation cursor; buffers are region-aligned so the
+	// read-only attribute never straddles allocations.
+	next memdef.Addr
+}
+
+// NewDevice creates a device with a protected memory of the given size.
+func NewDevice(cfg Config) (*Device, error) {
+	mem, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{mem: mem, allocs: map[string]*Buffer{}}, nil
+}
+
+// Memory exposes the underlying protected memory (attack demos, stats).
+func (d *Device) Memory() *Memory { return d.mem }
+
+// Malloc allocates a named, region-aligned buffer in the given space.
+func (d *Device) Malloc(name string, size uint64, space Space) (*Buffer, error) {
+	if name == "" || size == 0 {
+		return nil, fmt.Errorf("%w: allocation needs a name and size", ErrBounds)
+	}
+	if _, dup := d.allocs[name]; dup {
+		return nil, fmt.Errorf("%w: allocation %q already exists", ErrBounds, name)
+	}
+	switch space {
+	case SpaceGlobal, SpaceConstant, SpaceTexture:
+	default:
+		return nil, fmt.Errorf("%w: space %v is not allocatable device memory", ErrBounds, space)
+	}
+	aligned := (size + memdef.RegionSize - 1) &^ (memdef.RegionSize - 1)
+	if uint64(d.next)+aligned > d.mem.Size() {
+		return nil, fmt.Errorf("%w: out of device memory (%d of %d used)", ErrBounds, d.next, d.mem.Size())
+	}
+	b := &Buffer{name: name, addr: d.next, size: size, space: space, dev: d}
+	d.next += memdef.Addr(aligned)
+	d.allocs[name] = b
+	return b, nil
+}
+
+// Free releases a buffer. The allocator is a bump allocator (GPU runtimes
+// typically suballocate); freeing only forbids further use of the handle
+// and scrubs the region by overwriting it through the secure path.
+func (d *Device) Free(b *Buffer) error {
+	if b.freed {
+		return fmt.Errorf("%w: double free of %q", ErrBounds, b.name)
+	}
+	b.freed = true
+	delete(d.allocs, b.name)
+	// Scrub: a freed buffer's plaintext must be unrecoverable even by
+	// the owning context.
+	zero := make([]byte, b.alignedSize())
+	if d.mem.IsReadOnly(b.addr) {
+		// Writing through the secure path transitions the regions first.
+		for off := uint64(0); off < b.alignedSize(); off += memdef.RegionSize {
+			d.mem.transitionToRW(b.addr + memdef.Addr(off))
+		}
+	}
+	return d.mem.Write(b.addr, zero)
+}
+
+// Buffers lists live allocations sorted by name.
+func (d *Device) Buffers() []*Buffer {
+	out := make([]*Buffer, 0, len(d.allocs))
+	for _, b := range d.allocs {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (b *Buffer) alignedSize() uint64 {
+	return (b.size + memdef.RegionSize - 1) &^ (memdef.RegionSize - 1)
+}
+
+func (b *Buffer) check(offset uint64, n int) error {
+	if b.freed {
+		return fmt.Errorf("%w: buffer %q is freed", ErrBounds, b.name)
+	}
+	if offset%BlockSize != 0 || n%BlockSize != 0 || n <= 0 {
+		return fmt.Errorf("%w: buffer %q access at %d len %d must be %d-byte aligned",
+			ErrBounds, b.name, offset, n, BlockSize)
+	}
+	if offset+uint64(n) > b.alignedSize() {
+		return fmt.Errorf("%w: buffer %q access [%d,%d) beyond %d", ErrBounds, b.name, offset, offset+uint64(n), b.size)
+	}
+	return nil
+}
+
+// MemcpyHtoD copies host data into the buffer. Constant and texture
+// buffers — and global buffers when readOnlyHint is true (the OpenCL
+// read-buffer declaration) — take the read-only fast path. data shorter
+// than the buffer is zero-padded to the region boundary.
+func (d *Device) MemcpyHtoD(b *Buffer, data []byte, readOnlyHint bool) error {
+	if b.freed {
+		return fmt.Errorf("%w: buffer %q is freed", ErrBounds, b.name)
+	}
+	if uint64(len(data)) > b.alignedSize() {
+		return fmt.Errorf("%w: %d bytes into %d-byte buffer %q", ErrBounds, len(data), b.size, b.name)
+	}
+	padded := make([]byte, b.alignedSize())
+	copy(padded, data)
+	if b.space.ReadOnlyByNature() || readOnlyHint {
+		if d.mem.IsReadOnly(b.addr) {
+			// Re-copy into a still-read-only buffer: use the reset API so
+			// the shared counter advances (cross-kernel replay defense).
+			if err := d.mem.InputReadOnlyReset(b.addr, b.alignedSize()); err != nil {
+				return err
+			}
+		}
+		return d.mem.CopyFromHost(b.addr, padded)
+	}
+	if d.mem.IsReadOnly(b.addr) {
+		for off := uint64(0); off < b.alignedSize(); off += memdef.RegionSize {
+			d.mem.transitionToRW(b.addr + memdef.Addr(off))
+		}
+	}
+	return d.mem.Write(b.addr, padded)
+}
+
+// MemcpyDtoH copies the buffer's contents back to the host, verifying
+// integrity (and freshness for non-read-only buffers) along the way.
+func (d *Device) MemcpyDtoH(b *Buffer) ([]byte, error) {
+	if b.freed {
+		return nil, fmt.Errorf("%w: buffer %q is freed", ErrBounds, b.name)
+	}
+	out := make([]byte, b.alignedSize())
+	if err := d.mem.Read(b.addr, out); err != nil {
+		return nil, err
+	}
+	return out[:b.size], nil
+}
+
+// Load is the kernel-side read: block-aligned offset and length.
+func (b *Buffer) Load(offset uint64, buf []byte) error {
+	if err := b.check(offset, len(buf)); err != nil {
+		return err
+	}
+	return b.dev.mem.Read(b.addr+memdef.Addr(offset), buf)
+}
+
+// Store is the kernel-side write. Stores to constant or texture buffers are
+// rejected — the programming model forbids them (paper Table I), which is
+// exactly why those spaces can drop freshness protection.
+func (b *Buffer) Store(offset uint64, data []byte) error {
+	if b.space.ReadOnlyByNature() {
+		return fmt.Errorf("%w: kernel store to %v buffer %q", ErrBounds, b.space, b.name)
+	}
+	if err := b.check(offset, len(data)); err != nil {
+		return err
+	}
+	return b.dev.mem.Write(b.addr+memdef.Addr(offset), data)
+}

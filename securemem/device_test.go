@@ -1,0 +1,285 @@
+package securemem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"shmgpu/internal/memdef"
+)
+
+func newDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(Config{Size: 512 << 10, ContextSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMallocAlignmentAndAccounting(t *testing.T) {
+	d := newDevice(t)
+	a, err := d.Malloc("a", 1000, SpaceGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a.Addr())%memdef.RegionSize != 0 {
+		t.Errorf("allocation not region-aligned: %#x", uint64(a.Addr()))
+	}
+	b, err := d.Malloc("b", memdef.RegionSize, SpaceConstant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr() < a.Addr()+memdef.RegionSize {
+		t.Error("allocations overlap")
+	}
+	if len(d.Buffers()) != 2 {
+		t.Errorf("buffers = %d", len(d.Buffers()))
+	}
+}
+
+func TestMallocErrors(t *testing.T) {
+	d := newDevice(t)
+	if _, err := d.Malloc("", 100, SpaceGlobal); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := d.Malloc("x", 0, SpaceGlobal); err == nil {
+		t.Error("zero size accepted")
+	}
+	d.Malloc("dup", 100, SpaceGlobal)
+	if _, err := d.Malloc("dup", 100, SpaceGlobal); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := d.Malloc("huge", 1<<30, SpaceGlobal); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+	if _, err := d.Malloc("reg", 100, memdef.SpaceLocal); err == nil {
+		t.Error("non-allocatable space accepted")
+	}
+}
+
+func TestMemcpyRoundTrip(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("data", 4096, SpaceGlobal)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := d.MemcpyHtoD(b, payload, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.MemcpyDtoH(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestConstantBufferIsReadOnly(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("coef", memdef.RegionSize, SpaceConstant)
+	if err := d.MemcpyHtoD(b, make([]byte, 128), false); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Memory().IsReadOnly(b.Addr()) {
+		t.Fatal("constant buffer not read-only after copy")
+	}
+	// Kernel stores to constant memory are rejected.
+	if err := b.Store(0, make([]byte, BlockSize)); !errors.Is(err, ErrBounds) {
+		t.Fatalf("store to constant buffer: %v", err)
+	}
+}
+
+func TestReadOnlyHintGlobalBuffer(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("input", memdef.RegionSize, SpaceGlobal)
+	if err := d.MemcpyHtoD(b, make([]byte, 256), true); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Memory().IsReadOnly(b.Addr()) {
+		t.Fatal("read-only hint ignored")
+	}
+	// A kernel store triggers the RO→RW transition instead of failing.
+	if err := b.Store(0, make([]byte, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Memory().IsReadOnly(b.Addr()) {
+		t.Fatal("no transition on store")
+	}
+}
+
+func TestRecopyIntoReadOnlyBufferAdvancesSharedCounter(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("input", memdef.RegionSize, SpaceConstant)
+	d.MemcpyHtoD(b, []byte{1}, false)
+	before := d.Memory().SharedCounter()
+	if err := d.MemcpyHtoD(b, []byte{2}, false); err != nil {
+		t.Fatal(err)
+	}
+	if d.Memory().SharedCounter() <= before {
+		t.Fatal("re-copy did not advance the shared counter (cross-kernel replay risk)")
+	}
+	got, err := d.MemcpyDtoH(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatal("stale data after re-copy")
+	}
+}
+
+func TestLoadStoreKernelSide(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("work", 2*BlockSize, SpaceGlobal)
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = 0x5A
+	}
+	if err := b.Store(BlockSize, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := b.Load(BlockSize, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("load/store mismatch")
+	}
+	// Out-of-bounds and misaligned accesses rejected.
+	if err := b.Load(3, got); !errors.Is(err, ErrBounds) {
+		t.Error("misaligned load accepted")
+	}
+	if err := b.Store(memdef.RegionSize, data); !errors.Is(err, ErrBounds) {
+		t.Error("out-of-bounds store accepted")
+	}
+}
+
+func TestFreeScrubsAndInvalidates(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("secret", BlockSize, SpaceGlobal)
+	d.MemcpyHtoD(b, bytes.Repeat([]byte{0xEE}, BlockSize), false)
+	if err := d.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(b); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := d.MemcpyDtoH(b); !errors.Is(err, ErrBounds) {
+		t.Fatal("freed buffer still readable through handle")
+	}
+	if len(d.Buffers()) != 0 {
+		t.Fatal("freed buffer still listed")
+	}
+}
+
+func TestFreeReadOnlyBuffer(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("input", memdef.RegionSize, SpaceConstant)
+	d.MemcpyHtoD(b, []byte{1, 2, 3}, false)
+	if err := d.Free(b); err != nil {
+		t.Fatalf("freeing a read-only buffer: %v", err)
+	}
+}
+
+func TestMemcpyOversize(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("small", 128, SpaceGlobal)
+	if err := d.MemcpyHtoD(b, make([]byte, memdef.RegionSize+1), false); !errors.Is(err, ErrBounds) {
+		t.Fatal("oversized copy accepted")
+	}
+}
+
+func TestTransferChannelRoundTrip(t *testing.T) {
+	host, _ := NewTransferChannel(99, "htod")
+	dev, _ := NewTransferChannel(99, "htod")
+	payload := []byte("input tensor shard 7")
+	sealed := host.Seal(0x4000, payload)
+	if bytes.Contains(sealed.Ciphertext, []byte("tensor")) {
+		t.Fatal("transfer not encrypted")
+	}
+	got, err := dev.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestTransferTamperDetected(t *testing.T) {
+	host, _ := NewTransferChannel(99, "htod")
+	dev, _ := NewTransferChannel(99, "htod")
+	sealed := host.Seal(0, []byte("payload"))
+	sealed.Ciphertext[0] ^= 1
+	if _, err := dev.Open(sealed); !errors.Is(err, ErrTransfer) {
+		t.Fatalf("tampered transfer accepted: %v", err)
+	}
+}
+
+func TestTransferReplayAndReorderRejected(t *testing.T) {
+	host, _ := NewTransferChannel(99, "htod")
+	dev, _ := NewTransferChannel(99, "htod")
+	t1 := host.Seal(0, []byte("one"))
+	t2 := host.Seal(0, []byte("two"))
+	if _, err := dev.Open(t2); !errors.Is(err, ErrTransfer) {
+		t.Fatal("reordered transfer accepted")
+	}
+	if _, err := dev.Open(t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Open(t1); !errors.Is(err, ErrTransfer) {
+		t.Fatal("replayed transfer accepted")
+	}
+}
+
+func TestTransferDestinationBound(t *testing.T) {
+	// Redirecting a sealed transfer to a different destination must fail
+	// authentication (the destination is in the AAD).
+	host, _ := NewTransferChannel(99, "htod")
+	dev, _ := NewTransferChannel(99, "htod")
+	sealed := host.Seal(0x1000, []byte("weights"))
+	sealed.Dest = 0x2000
+	if _, err := dev.Open(sealed); !errors.Is(err, ErrTransfer) {
+		t.Fatal("redirected transfer accepted")
+	}
+}
+
+func TestTransferDirectionsIsolated(t *testing.T) {
+	// htod and dtoh channels must not share keys/nonces.
+	htod, _ := NewTransferChannel(99, "htod")
+	dtoh, _ := NewTransferChannel(99, "dtoh")
+	sealed := htod.Seal(0, []byte("x"))
+	if _, err := dtoh.Open(sealed); !errors.Is(err, ErrTransfer) {
+		t.Fatal("cross-direction transfer accepted")
+	}
+	if _, err := NewTransferChannel(99, "sideways"); err == nil {
+		t.Fatal("bad direction accepted")
+	}
+}
+
+func TestSecureMemcpyHtoDEndToEnd(t *testing.T) {
+	d := newDevice(t)
+	b, _ := d.Malloc("input", memdef.RegionSize, SpaceGlobal)
+	host, _ := NewTransferChannel(7, "htod")
+	dev, _ := NewTransferChannel(7, "htod")
+	payload := bytes.Repeat([]byte{0xC3}, 512)
+	sealed, err := d.SecureMemcpyHtoD(host, dev, b, payload, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed.Ciphertext, payload[:64]) {
+		t.Fatal("bus transfer leaked plaintext")
+	}
+	back, err := d.MemcpyDtoH(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back[:512], payload) {
+		t.Fatal("end-to-end mismatch")
+	}
+	if !d.Memory().IsReadOnly(b.Addr()) {
+		t.Fatal("read-only hint lost through secure transfer")
+	}
+}

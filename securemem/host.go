@@ -1,0 +1,100 @@
+package securemem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shmgpu/internal/cryptoengine"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/metadata"
+)
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+
+// CopyFromHost models a host→device memory copy (the GPU's copy-then-
+// execute input path). The touched 16 KB regions become read-only: blocks
+// are encrypted under the on-chip shared counter (zero-padded minor), and
+// the stored per-block counters are materialized as (major = shared,
+// minors = 0) so a later RO→RW transition is seamless (paper Fig. 8). The
+// integrity tree is updated over the materialized counters, but read-only
+// reads never traverse it — freshness comes from the on-chip shared
+// counter itself.
+//
+// addr and len(data) must be region-aligned multiples (16 KB) so the
+// read-only attribute cleanly covers whole detection regions.
+func (m *Memory) CopyFromHost(addr memdef.Addr, data []byte) error {
+	if uint64(addr)%memdef.RegionSize != 0 || len(data)%memdef.RegionSize != 0 || len(data) == 0 {
+		return fmt.Errorf("%w: host copies are region-aligned (%d B): addr %#x len %d",
+			ErrBounds, memdef.RegionSize, uint64(addr), len(data))
+	}
+	if uint64(addr)+uint64(len(data)) > m.cfg.Size {
+		return fmt.Errorf("%w: copy beyond size", ErrBounds)
+	}
+	m.stats.HostCopies++
+
+	ct := make([]byte, BlockSize)
+	for off := 0; off < len(data); off += BlockSize {
+		a := addr + memdef.Addr(off)
+		seed := cryptoengine.ReadOnlySeed(a, m.cfg.Partition, m.sharedCounter)
+		m.eng.EncryptBlock(ct, data[off:off+BlockSize], seed)
+		copy(m.backing[a:], ct)
+		m.storeBlockMAC(a, m.eng.BlockMAC(ct, seed))
+	}
+	for off := memdef.Addr(0); off < memdef.Addr(len(data)); off += ChunkSize {
+		m.recomputeChunkMAC(addr + off)
+	}
+	// Materialize counters consistent with the shared-counter encryption
+	// and fold them into the tree (the tree is simply not consulted while
+	// the region stays read-only).
+	var cb metadata.CounterBlock
+	cb.Major = m.sharedCounter
+	for off := memdef.Addr(0); off < memdef.Addr(len(data)); off += metadata.CounterCoverage {
+		cbIdx, _ := m.layout.CounterIndex(addr + off)
+		m.storeCounter(cbIdx, &cb)
+		m.tree.Update(cbIdx)
+	}
+	for off := memdef.Addr(0); off < memdef.Addr(len(data)); off += memdef.RegionSize {
+		m.readOnly[memdef.RegionID(addr+off)] = true
+	}
+	return nil
+}
+
+// InputReadOnlyReset implements the paper's new API (§IV-B, Fig. 9): the
+// command processor scans the per-block major counters in [addr,
+// addr+length), advances the shared counter past the maximum (so the reset
+// can never enable a cross-kernel replay), and re-marks the range's regions
+// as read-only. The caller then repopulates the range with CopyFromHost,
+// which encrypts under the NEW shared counter value.
+//
+// Note the paper's caveat: regions that stayed read-only under the old
+// shared counter value cannot be lazily reused after a reset — their
+// ciphertext is bound to the old value. This implementation requires the
+// subsequent CopyFromHost, matching how the paper's multi-kernel workloads
+// use the API.
+func (m *Memory) InputReadOnlyReset(addr memdef.Addr, length uint64) error {
+	if uint64(addr)%memdef.RegionSize != 0 || length%memdef.RegionSize != 0 || length == 0 {
+		return fmt.Errorf("%w: reset ranges are region-aligned", ErrBounds)
+	}
+	if uint64(addr)+length > m.cfg.Size {
+		return fmt.Errorf("%w: reset beyond size", ErrBounds)
+	}
+	// Scan the counter region (Fig. 9): find the maximum major counter.
+	maxMajor := uint64(0)
+	for off := memdef.Addr(0); off < memdef.Addr(length); off += metadata.CounterCoverage {
+		cb, _, _ := m.counterFor(addr + off)
+		if cb.Major > maxMajor {
+			maxMajor = cb.Major
+		}
+	}
+	if maxMajor >= m.sharedCounter {
+		m.sharedCounter = maxMajor
+	}
+	// Advance by one beyond the maximum ever used so the (shared, 0)
+	// seeds of the upcoming copies are temporally unique.
+	m.sharedCounter++
+	for off := memdef.Addr(0); off < memdef.Addr(length); off += memdef.RegionSize {
+		m.readOnly[memdef.RegionID(addr+off)] = true
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package shmgpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadAndSchemeListings(t *testing.T) {
+	if len(Workloads()) != 16 {
+		t.Fatalf("workloads = %d, want 16", len(Workloads()))
+	}
+	if len(MemoryIntensiveWorkloads()) != 15 {
+		t.Fatalf("memory-intensive = %d, want 15", len(MemoryIntensiveWorkloads()))
+	}
+	schemes := Schemes()
+	if len(schemes) != 10 {
+		t.Fatalf("schemes = %d, want 10", len(schemes))
+	}
+	if schemes[0] != "Baseline" {
+		t.Fatalf("first scheme = %q, want Baseline", schemes[0])
+	}
+}
+
+func TestSchemeDescription(t *testing.T) {
+	desc, err := SchemeDescription("SHM")
+	if err != nil || !strings.Contains(desc, "dual-granularity") {
+		t.Fatalf("desc = %q, err = %v", desc, err)
+	}
+	if _, err := SchemeDescription("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(QuickConfig(), "nope", "SHM"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Run(QuickConfig(), "atax", "nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	res, err := Run(QuickConfig(), "atax", "SHM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.Cycles == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Scheme != "SHM" || res.Workload != "atax" {
+		t.Fatalf("labels wrong: %q %q", res.Scheme, res.Workload)
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	r := NewRunner(QuickConfig(), []string{"atax"})
+	if _, err := Figure(r, "ix"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure(r, "99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigureGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	r := NewRunner(QuickConfig(), []string{"atax"})
+	for _, id := range []string{"12", "14"} {
+		tb, err := Figure(r, id)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if !strings.Contains(tb.String(), "atax") {
+			t.Fatalf("figure %s missing workload:\n%s", id, tb.String())
+		}
+	}
+}

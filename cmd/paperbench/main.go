@@ -1,6 +1,7 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation section and writes the text reports to stdout and (optionally)
-// a results directory.
+// a results directory. With the telemetry flags it additionally dumps
+// machine-readable metrics and traces for every simulation run.
 //
 // Usage:
 //
@@ -9,11 +10,18 @@
 //	paperbench -quick               # scaled-down fast configuration
 //	paperbench -workloads fdtd2d,bfs
 //	paperbench -out results/        # also write one file per figure
+//	paperbench -json                # tables as JSON instead of text
+//	paperbench -metrics-out m/      # per-run Prometheus dumps
+//	paperbench -trace-out t/        # per-run Chrome traces
+//
+// Exit codes: 0 on success, 1 on output errors, 2 on usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,17 +31,30 @@ import (
 	"shmgpu/internal/gpu"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
+	"shmgpu/internal/telemetry"
 	"shmgpu/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig       = flag.String("fig", "all", "figure/table to regenerate: 5, 10, 11, 12, 13, 14, 15, 16, vii, ix, summary, all")
-		quick     = flag.Bool("quick", false, "use the scaled-down fast configuration")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the 15 memory-intensive ones)")
-		out       = flag.String("out", "", "directory to write per-figure text reports to")
+		fig            = fs.String("fig", "all", "figure/table to regenerate: 5, 10, 11, 12, 13, 14, 15, 16, vii, ix, summary, all")
+		quick          = fs.Bool("quick", false, "use the scaled-down fast configuration")
+		workloads      = fs.String("workloads", "", "comma-separated workload subset (default: the 15 memory-intensive ones)")
+		out            = fs.String("out", "", "directory to write per-figure reports to")
+		jsonOut        = fs.Bool("json", false, "emit tables as JSON instead of text")
+		metricsOut     = fs.String("metrics-out", "", "directory for per-run Prometheus metrics dumps")
+		traceOut       = fs.String("trace-out", "", "directory for per-run Chrome trace-event JSON files")
+		sampleInterval = fs.Uint64("sample-interval", 5000, "timeline sampling period in cycles for instrumented runs")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := gpu.DefaultConfig()
 	if *quick {
@@ -44,13 +65,26 @@ func main() {
 		for _, w := range strings.Split(*workloads, ",") {
 			w = strings.TrimSpace(w)
 			if _, err := workload.ByName(w); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 2
 			}
 			wls = append(wls, w)
 		}
 	}
 	r := experiments.NewRunner(cfg, wls)
+
+	for _, dir := range []string{*out, *metricsOut, *traceOut} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 1
+			}
+		}
+	}
+
+	if *metricsOut != "" || *traceOut != "" {
+		installSink(r, cfg, *quick, *sampleInterval, *metricsOut, *traceOut, stderr)
+	}
 
 	type genFn func() *report.Table
 	gens := []struct {
@@ -78,12 +112,7 @@ func main() {
 		{"ablation-mdc", "ablation_mdc_size", r.AblationMDCSize, []scheme.Scheme{scheme.Baseline}, false, true},
 	}
 
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
+	matched := false
 	for _, g := range gens {
 		if *fig == "all" && g.extra {
 			continue
@@ -91,6 +120,7 @@ func main() {
 		if *fig != "all" && *fig != g.id {
 			continue
 		}
+		matched = true
 		start := time.Now()
 		if len(g.prefetch) > 0 {
 			r.Prefetch(g.prefetch, false)
@@ -99,15 +129,81 @@ func main() {
 			r.Prefetch([]scheme.Scheme{scheme.SHM}, true)
 		}
 		table := g.fn()
-		text := table.String()
-		fmt.Println(text)
-		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		var text string
+		if *jsonOut {
+			buf, err := json.MarshalIndent(table, "", " ")
+			if err != nil {
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 1
+			}
+			text = string(buf) + "\n"
+			fmt.Fprintln(stdout, text)
+		} else {
+			text = table.String()
+			fmt.Fprintln(stdout, text)
+			fmt.Fprintf(stdout, "(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
 		if *out != "" {
-			path := filepath.Join(*out, g.name+".txt")
+			ext := ".txt"
+			if *jsonOut {
+				ext = ".json"
+			}
+			path := filepath.Join(*out, g.name+ext)
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 1
 			}
 		}
 	}
+	if !matched {
+		fmt.Fprintf(stderr, "paperbench: unknown figure %q\n", *fig)
+		return 2
+	}
+	return 0
+}
+
+// installSink wires per-run telemetry dumps into the runner. Each completed
+// simulation writes <dir>/<workload>_<scheme>.prom and/or .trace.json; file
+// names are unique per (workload, scheme) so the concurrent prefetch workers
+// never share a file. Dump failures are reported but do not fail the run.
+func installSink(r *experiments.Runner, cfg gpu.Config, quick bool, sampleInterval uint64, metricsDir, traceDir string, stderr io.Writer) {
+	tcfg := telemetry.Config{SampleInterval: sampleInterval, CaptureEvents: traceDir != ""}
+	gitRev := telemetry.GitRevision(".")
+	r.SetTelemetrySink(tcfg, func(res gpu.Result, col *telemetry.Collector) {
+		sum := experiments.TelemetrySummary(res)
+		m := telemetry.Manifest{
+			Tool:           "paperbench",
+			SchemaVersion:  telemetry.SchemaVersion,
+			Workload:       res.Workload,
+			Scheme:         res.Scheme,
+			Quick:          quick,
+			SMs:            cfg.SMs,
+			Partitions:     cfg.Partitions,
+			MaxCycles:      cfg.MaxCycles,
+			SampleInterval: sampleInterval,
+			GitRev:         gitRev,
+		}
+		stem := res.Workload + "_" + res.Scheme
+		dump := func(dir, suffix string, fn func(io.Writer) error) {
+			if dir == "" {
+				return
+			}
+			path := filepath.Join(dir, stem+suffix)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := fn(f); err != nil {
+				fmt.Fprintf(stderr, "paperbench: writing %s: %v\n", path, err)
+			}
+		}
+		dump(metricsDir, ".prom", func(w io.Writer) error {
+			return telemetry.WritePrometheus(w, col, sum, m)
+		})
+		dump(traceDir, ".trace.json", func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, col, sum, m)
+		})
+	})
 }

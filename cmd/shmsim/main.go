@@ -1,75 +1,206 @@
 // Command shmsim runs one workload under one secure-memory design and
 // prints detailed statistics: IPC (absolute and normalized), per-class DRAM
-// traffic, cache behaviour, detector events, and predictor accuracy.
+// traffic, cache behaviour, detector events, and predictor accuracy. With
+// the telemetry flags it also exports machine-readable traces and metrics.
 //
 // Usage:
 //
 //	shmsim -workload fdtd2d -scheme SHM
 //	shmsim -workload bfs -scheme Naive -quick
+//	shmsim -workload fdtd2d -scheme SHM -quick -trace-out t.json -metrics-out m.prom
+//	shmsim -workload fdtd2d -scheme SHM -quick -json
 //	shmsim -list
+//
+// Exit codes: 0 on success, 1 on output/runtime errors, 2 on usage errors
+// (bad flags, unknown workload or scheme).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"shmgpu"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl       = flag.String("workload", "fdtd2d", "benchmark name (see -list)")
-		sch      = flag.String("scheme", "SHM", "secure-memory design (see -list)")
-		quick    = flag.Bool("quick", false, "use the scaled-down fast configuration")
-		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
-		accuracy = flag.Bool("accuracy", false, "also report predictor accuracy (slower)")
+		wl             = fs.String("workload", "fdtd2d", "benchmark name (see -list)")
+		sch            = fs.String("scheme", "SHM", "secure-memory design (see -list)")
+		quick          = fs.Bool("quick", false, "use the scaled-down fast configuration")
+		list           = fs.Bool("list", false, "list workloads and schemes, then exit")
+		accuracy       = fs.Bool("accuracy", false, "also report predictor accuracy (slower)")
+		jsonOut        = fs.Bool("json", false, "print the run summary as JSON instead of text tables")
+		traceOut       = fs.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+		metricsOut     = fs.String("metrics-out", "", "write a Prometheus text-format metrics dump")
+		jsonlOut       = fs.String("jsonl-out", "", "write a JSONL event/sample trace")
+		sampleInterval = fs.Uint64("sample-interval", 5000, "timeline sampling period in cycles (0 disables the timeline)")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: shmsim [flags]\n\nRuns one workload under one secure-memory design.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		// fs already printed the error and usage.
+		return 2
+	}
 
 	if *list {
-		fmt.Println("Workloads (paper Table VII):")
+		fmt.Fprintln(stdout, "Workloads (paper Table VII):")
 		for _, w := range shmgpu.Workloads() {
-			fmt.Printf("  %s\n", w)
+			fmt.Fprintf(stdout, "  %s\n", w)
 		}
-		fmt.Println("\nSchemes (paper Table VIII):")
+		fmt.Fprintln(stdout, "\nSchemes (paper Table VIII):")
 		for _, s := range shmgpu.Schemes() {
 			desc, _ := shmgpu.SchemeDescription(s)
-			fmt.Printf("  %-16s %s\n", s, desc)
+			fmt.Fprintf(stdout, "  %-16s %s\n", s, desc)
 		}
-		return
+		return 0
 	}
 
 	cfg := shmgpu.DefaultConfig()
 	if *quick {
 		cfg = shmgpu.QuickConfig()
 	}
+	if _, err := scheme.ByName(*sch); err != nil {
+		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		return 2
+	}
 
+	instrument := *traceOut != "" || *metricsOut != "" || *jsonlOut != "" || *jsonOut
+	tcfg := telemetry.Config{
+		SampleInterval: *sampleInterval,
+		CaptureEvents:  *traceOut != "" || *jsonlOut != "",
+	}
+
+	started := time.Now()
 	base, err := shmgpu.Run(cfg, *wl, "Baseline")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	var res shmgpu.Result
-	if *accuracy {
-		schObj, err2 := scheme.ByName(*sch)
-		if err2 != nil {
-			fmt.Fprintln(os.Stderr, err2)
-			os.Exit(2)
-		}
-		res = shmgpu.NewRunner(cfg, []string{*wl}).RunWithAccuracy(*wl, schObj)
-	} else {
-		res, err = shmgpu.Run(cfg, *wl, *sch)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		return 2
 	}
 
-	fmt.Printf("workload=%s scheme=%s\n\n", *wl, *sch)
+	var res shmgpu.Result
+	var col *shmgpu.Collector
+	switch {
+	case *accuracy:
+		schObj, _ := scheme.ByName(*sch)
+		res = shmgpu.NewRunner(cfg, []string{*wl}).RunWithAccuracy(*wl, schObj)
+	case instrument:
+		res, col, err = shmgpu.RunWithTelemetry(cfg, *wl, *sch, tcfg)
+	default:
+		res, err = shmgpu.Run(cfg, *wl, *sch)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		return 2
+	}
+	wall := time.Since(started)
+
+	sum := shmgpu.Summarize(res)
+	manifest := shmgpu.Manifest{
+		Tool:           "shmsim",
+		SchemaVersion:  telemetry.SchemaVersion,
+		Workload:       *wl,
+		Scheme:         *sch,
+		Quick:          *quick,
+		SMs:            cfg.SMs,
+		Partitions:     cfg.Partitions,
+		MaxCycles:      cfg.MaxCycles,
+		SampleInterval: *sampleInterval,
+		GitRev:         telemetry.GitRevision("."),
+		Started:        started.UTC().Format(time.RFC3339),
+		WallTime:       wall.Round(time.Millisecond).String(),
+	}
+
+	if code := writeExports(stderr, col, sum, manifest, *traceOut, *metricsOut, *jsonlOut); code != 0 {
+		return code
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		out := struct {
+			Manifest shmgpu.Manifest   `json:"manifest"`
+			Summary  shmgpu.RunSummary `json:"summary"`
+			Baseline struct {
+				IPC           float64 `json:"ipc"`
+				NormalizedIPC float64 `json:"normalized_ipc"`
+			} `json:"baseline"`
+		}{Manifest: manifest, Summary: sum}
+		out.Baseline.IPC = base.IPC()
+		if base.IPC() > 0 {
+			out.Baseline.NormalizedIPC = res.IPC() / base.IPC()
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "shmsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	printText(stdout, res, base, *wl, *sch, *accuracy)
+	if col != nil {
+		if t := report.TimelineTable(col.Timeline()); t != nil {
+			fmt.Fprintln(stdout, t)
+		}
+	}
+	return 0
+}
+
+// writeExports writes the requested telemetry outputs; any failure is an IO
+// error (exit 1).
+func writeExports(stderr io.Writer, col *shmgpu.Collector, sum shmgpu.RunSummary, m shmgpu.Manifest, traceOut, metricsOut, jsonlOut string) int {
+	write := func(path string, fn func(io.Writer) error) int {
+		if path == "" {
+			return 0
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "shmsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintf(stderr, "shmsim: writing %s: %v\n", path, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "shmsim: closing %s: %v\n", path, err)
+			return 1
+		}
+		return 0
+	}
+	if code := write(traceOut, func(w io.Writer) error {
+		return telemetry.WriteChromeTrace(w, col, sum, m)
+	}); code != 0 {
+		return code
+	}
+	if code := write(metricsOut, func(w io.Writer) error {
+		return telemetry.WritePrometheus(w, col, sum, m)
+	}); code != 0 {
+		return code
+	}
+	return write(jsonlOut, func(w io.Writer) error {
+		return telemetry.WriteJSONL(w, col, sum, m)
+	})
+}
+
+func printText(stdout io.Writer, res, base shmgpu.Result, wl, sch string, accuracy bool) {
+	fmt.Fprintf(stdout, "workload=%s scheme=%s\n\n", wl, sch)
 	t := report.NewTable("Performance", "metric", "value")
 	t.AddRow("cycles", res.Cycles)
 	t.AddRow("instructions", res.Instructions)
@@ -81,14 +212,14 @@ func main() {
 	}
 	t.AddRow("DRAM bus utilization", report.Percent(res.BusUtilization))
 	t.AddRow("run completed", res.Completed)
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
 
 	tr := report.NewTable("DRAM traffic", "class", "read bytes", "write bytes")
 	for c := stats.TrafficClass(0); c < stats.TrafficClass(stats.NumTrafficClasses); c++ {
 		tr.AddRow(c.String(), res.Traffic.ReadBytes[c], res.Traffic.WriteBytes[c])
 	}
 	tr.AddRow("metadata overhead", report.Percent(res.BandwidthOverhead()), "")
-	fmt.Println(tr)
+	fmt.Fprintln(stdout, tr)
 
 	cc := report.NewTable("Caches", "cache", "accesses", "miss rate")
 	cc.AddRow("L1 (all SMs)", res.L1.Accesses(), report.Percent(res.L1.MissRate()))
@@ -96,20 +227,20 @@ func main() {
 	cc.AddRow("counter MDC", res.Ctr.Accesses(), report.Percent(res.Ctr.MissRate()))
 	cc.AddRow("MAC MDC", res.MAC.Accesses(), report.Percent(res.MAC.MissRate()))
 	cc.AddRow("BMT MDC", res.BMT.Accesses(), report.Percent(res.BMT.MissRate()))
-	fmt.Println(cc)
+	fmt.Fprintln(stdout, cc)
 
 	if names := res.Reg.Names(); len(names) > 0 {
 		ev := report.NewTable("MEE events", "event", "count")
 		for _, n := range names {
 			ev.AddRow(n, res.Reg.Get(n))
 		}
-		fmt.Println(ev)
+		fmt.Fprintln(stdout, ev)
 	}
 
-	if *accuracy {
+	if accuracy {
 		acc := report.NewTable("Predictor accuracy", "predictor", "predictions", "accuracy")
 		acc.AddRow("read-only", res.ROAccuracy.Total(), report.Percent(res.ROAccuracy.Accuracy()))
 		acc.AddRow("streaming", res.StreamAccuracy.Total(), report.Percent(res.StreamAccuracy.Accuracy()))
-		fmt.Println(acc)
+		fmt.Fprintln(stdout, acc)
 	}
 }

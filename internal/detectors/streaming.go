@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/telemetry"
 )
 
 // StreamingConfig configures one partition's streaming detector.
@@ -150,6 +151,11 @@ type MATFile struct {
 	// Monitored counts chunks that got a tracker; Skipped counts accesses
 	// belonging to unmonitored chunks while all trackers were busy.
 	Monitored, Skipped uint64
+
+	// Probe, when non-nil, observes tracker arms and skipped accesses.
+	// Part identifies the owning partition in emitted events.
+	Probe telemetry.Probe
+	Part  int16
 }
 
 // NewMATFile builds the tracker file.
@@ -223,6 +229,9 @@ func (f *MATFile) Observe(local memdef.Addr, write bool, now uint64) (Detection,
 	if !nextTracked {
 		if free == nil {
 			f.Skipped++
+			if f.Probe != nil {
+				f.Probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMonitorSkip, Part: f.Part, Value: next})
+			}
 		} else {
 			f.Monitored++
 			*free = tracker{
@@ -230,6 +239,9 @@ func (f *MATFile) Observe(local memdef.Addr, write bool, now uint64) (Detection,
 				chunk:        next,
 				deadline:     now + f.cfg.TimeoutCycles,
 				hardDeadline: now + 8*f.cfg.TimeoutCycles,
+			}
+			if f.Probe != nil {
+				f.Probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMonitorArm, Part: f.Part, Value: next})
 			}
 		}
 	}

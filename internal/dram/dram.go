@@ -17,6 +17,7 @@ import (
 
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
 )
 
 // Config describes one DRAM channel (one memory partition).
@@ -126,6 +127,18 @@ type Channel struct {
 	ReadsServed, WritesServed uint64
 	// BusyCycles approximates cycles in which the bus was transferring.
 	busyFP uint64
+
+	// probe, when non-nil, observes enqueues (queue depth) and issues
+	// (service latency). part identifies this channel in probe events.
+	probe telemetry.Probe
+	part  int16
+}
+
+// SetProbe installs the telemetry probe (nil to disable) and the channel's
+// partition id used in emitted events.
+func (ch *Channel) SetProbe(p telemetry.Probe, part int) {
+	ch.probe = p
+	ch.part = int16(part)
 }
 
 // NewChannel builds a channel, panicking on invalid configuration.
@@ -163,6 +176,12 @@ func (ch *Channel) Enqueue(r Req, now uint64) bool {
 	slicesPerRow := uint64(ch.cfg.RowBytes / memdef.PartitionStride)
 	row := (slice / uint64(ch.cfg.Banks)) / slicesPerRow
 	ch.queue = append(ch.queue, pendingReq{Req: r, arrival: now, bank: b, row: row})
+	if ch.probe != nil {
+		ch.probe.Emit(telemetry.Event{
+			Cycle: now, Kind: telemetry.EvDRAMEnqueue, Part: ch.part,
+			Class: uint8(r.Class), Value: uint64(len(ch.queue)),
+		})
+	}
 	return true
 }
 
@@ -207,6 +226,12 @@ func (ch *Channel) Tick(now uint64) []Req {
 
 		heap.Push(&ch.completed, completion{req: p.Req, cycle: doneCycle})
 		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+		if ch.probe != nil {
+			ch.probe.Emit(telemetry.Event{
+				Cycle: now, Kind: telemetry.EvDRAMService, Part: ch.part,
+				Class: uint8(p.Class), Unit: int16(p.bank), Value: doneCycle - p.arrival,
+			})
+		}
 
 		if p.Kind == memdef.Read {
 			ch.Traffic.AddRead(p.Class, memdef.SectorSize)

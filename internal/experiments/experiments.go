@@ -22,6 +22,7 @@ import (
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
 	"shmgpu/internal/workload"
 )
 
@@ -30,8 +31,22 @@ type Runner struct {
 	cfg       gpu.Config
 	workloads []string
 
+	// When sink is non-nil every uncached run is instrumented with a
+	// telemetry collector (config tcfg) handed to sink on completion.
+	tcfg telemetry.Config
+	sink func(gpu.Result, *telemetry.Collector)
+
 	mu    sync.Mutex
 	cache map[string]gpu.Result
+}
+
+// SetTelemetrySink instruments every subsequent uncached run with a fresh
+// collector and passes it to sink together with the result. Prefetch runs
+// jobs on a worker pool, so sink must be safe for concurrent use (writing to
+// distinct per-run files is sufficient). A nil sink disables instrumentation.
+func (r *Runner) SetTelemetrySink(tcfg telemetry.Config, sink func(gpu.Result, *telemetry.Collector)) {
+	r.tcfg = tcfg
+	r.sink = sink
 }
 
 // NewRunner builds a runner over the given GPU configuration and workload
@@ -89,8 +104,17 @@ func (r *Runner) run(wl string, sch scheme.Scheme, accuracy bool) gpu.Result {
 	}
 	opts := sch.Options
 	opts.TrackAccuracy = accuracy
-	res := gpu.NewSystem(r.cfg, opts).Run(bench)
+	sys := gpu.NewSystem(r.cfg, opts)
+	var col *telemetry.Collector
+	if r.sink != nil {
+		col = telemetry.New(r.tcfg)
+		sys.AttachTelemetry(col)
+	}
+	res := sys.Run(bench)
 	res.Scheme = sch.Name
+	if r.sink != nil {
+		r.sink(res, col)
+	}
 
 	r.mu.Lock()
 	r.cache[k] = res

@@ -4,6 +4,7 @@ import (
 	"shmgpu/internal/cache"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
 )
 
 // l2Request is a sector request at the L2, carrying routing back to its SM.
@@ -39,6 +40,15 @@ type L2Bank struct {
 
 	// VictimHits/VictimPushes count victim-cache activity.
 	VictimHits, VictimPushes uint64
+
+	// probe, when non-nil, observes data read hits and misses.
+	probe telemetry.Probe
+}
+
+func (b *L2Bank) accessProbe(now uint64, kind telemetry.EventKind) {
+	if b.probe != nil {
+		b.probe.Emit(telemetry.Event{Cycle: now, Kind: kind, Part: int16(b.partition), Unit: int16(b.bank)})
+	}
 }
 
 func newL2Bank(partition, bank int, cfg *Config) *L2Bank {
@@ -143,13 +153,16 @@ func (b *L2Bank) tick(now uint64, mee meePort, respond func(memdef.Request, uint
 		switch b.c.Read(r.Local) {
 		case cache.Hit:
 			b.sample(false)
+			b.accessProbe(now, telemetry.EvL2Hit)
 			respond(r, now)
 		case cache.MissNew:
 			b.sample(true)
+			b.accessProbe(now, telemetry.EvL2Miss)
 			b.waiters[memdef.SectorAddr(r.Local)] = append(b.waiters[memdef.SectorAddr(r.Local)], r)
 			b.toMEE = append(b.toMEE, r)
 		case cache.MissMerged:
 			b.sample(true)
+			b.accessProbe(now, telemetry.EvL2Miss)
 			b.waiters[memdef.SectorAddr(r.Local)] = append(b.waiters[memdef.SectorAddr(r.Local)], r)
 		case cache.Blocked:
 			// No MSHR: leave at queue head and retry next cycle.

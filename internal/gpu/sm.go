@@ -3,6 +3,7 @@ package gpu
 import (
 	"shmgpu/internal/cache"
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/telemetry"
 )
 
 // warpState tracks one resident warp.
@@ -50,6 +51,31 @@ type SM struct {
 	Instructions uint64
 	// Loads and Stores count memory instructions issued.
 	Loads, Stores uint64
+
+	// probe, when non-nil, observes instruction issue and stall cycles.
+	probe telemetry.Probe
+}
+
+// issue classes for EvSMIssue events.
+const (
+	issueCompute = 0
+	issueLoad    = 1
+	issueStore   = 2
+)
+
+func (s *SM) issueProbe(now uint64, class uint8) {
+	if s.probe != nil {
+		s.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvSMIssue, Part: -1, Unit: int16(s.id), Class: class})
+	}
+}
+
+// stallProbe records a cycle in which the SM had unfinished warps but
+// issued nothing (memory stalls, scheduling bubbles, miss-queue throttle).
+func (s *SM) stallProbe(now uint64) {
+	if s.probe == nil || s.finished() {
+		return
+	}
+	s.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvSMStall, Part: -1, Unit: int16(s.id)})
 }
 
 func newSM(id int, cfg *Config) *SM {
@@ -117,6 +143,7 @@ func (s *SM) tick(now uint64, accept func(smRequest) bool) {
 		s.missQueue = s.missQueue[1:]
 	}
 	if len(s.missQueue) > 32 {
+		s.stallProbe(now)
 		return // throttle issue until the queue drains
 	}
 
@@ -133,6 +160,7 @@ func (s *SM) tick(now uint64, accept func(smRequest) bool) {
 		if w.computeLeft > 0 {
 			w.computeLeft--
 			s.Instructions++
+			s.issueProbe(now, issueCompute)
 			return
 		}
 		if !w.haveMem {
@@ -144,6 +172,7 @@ func (s *SM) tick(now uint64, accept func(smRequest) bool) {
 		s.issueMem(w, now)
 		return
 	}
+	s.stallProbe(now)
 }
 
 func (s *SM) issueMem(w *warpState, now uint64) {
@@ -154,10 +183,12 @@ func (s *SM) issueMem(w *warpState, now uint64) {
 		// program; not counted as an instruction.
 		w.readyAt = now + 16
 		s.advance(w)
+		s.stallProbe(now)
 		return
 	}
 	s.Instructions++
 	if mem.Write {
+		s.issueProbe(now, issueStore)
 		s.Stores++
 		// Stores are posted: write through toward L2, no warp stall.
 		for _, a := range mem.Sectors {
@@ -168,6 +199,7 @@ func (s *SM) issueMem(w *warpState, now uint64) {
 		return
 	}
 	s.Loads++
+	s.issueProbe(now, issueLoad)
 	warpIdx := s.warpIndex(w)
 	for _, a := range mem.Sectors {
 		switch s.l1.Read(a) {

@@ -7,6 +7,7 @@ import (
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/secmem"
 	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
 )
 
 // Result summarizes one simulation run.
@@ -95,6 +96,64 @@ type System struct {
 
 	cycle uint64
 	instr uint64
+
+	// tele, when non-nil, collects probe events and timeline samples.
+	tele *telemetry.Collector
+}
+
+// AttachTelemetry installs a collector on every component's probe point.
+// Passing nil detaches all probes (the default, zero-overhead state). Attach
+// before Run; the collector is not safe for concurrent simulations.
+func (s *System) AttachTelemetry(c *telemetry.Collector) {
+	s.tele = c
+	// Hand components a typed-nil-free interface value: a nil *Collector
+	// stored in a Probe interface would still make `probe != nil` true at
+	// every emit site, so detach means storing a true nil.
+	var p telemetry.Probe
+	if c != nil {
+		p = c
+	}
+	for _, sm := range s.sms {
+		sm.probe = p
+	}
+	for part := range s.l2 {
+		for _, b := range s.l2[part] {
+			b.probe = p
+		}
+	}
+	for part, ch := range s.channels {
+		ch.SetProbe(p, part)
+	}
+	for _, mee := range s.mees {
+		mee.SetProbe(p)
+	}
+}
+
+// snapshot captures the cumulative cross-component state for one timeline
+// sample. Called by the collector at most once per sample interval.
+func (s *System) snapshot() telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	for _, sm := range s.sms {
+		snap.Instructions += sm.Instructions
+		snap.L1.Merge(&sm.l1.Stats)
+	}
+	for p := range s.l2 {
+		for _, b := range s.l2[p] {
+			st := b.Stats()
+			snap.L2.Merge(&st)
+		}
+	}
+	for _, ch := range s.channels {
+		snap.Traffic.Merge(&ch.Traffic)
+		snap.DRAMPending += ch.Pending()
+	}
+	for _, mee := range s.mees {
+		ctr, mac, bmt := mee.CacheStats()
+		snap.Ctr.Merge(&ctr)
+		snap.MAC.Merge(&mac)
+		snap.BMT.Merge(&bmt)
+	}
+	return snap
 }
 
 // NewSystem builds a GPU running the given secure-memory design.
@@ -256,6 +315,10 @@ func (s *System) drainLoop() {
 }
 
 func (s *System) tickOnce(now uint64) {
+	if s.tele != nil {
+		s.tele.MaybeSample(now, s.snapshot)
+	}
+
 	// 1. SMs issue instructions; misses enter the crossbar.
 	for _, sm := range s.sms {
 		sm.tick(now, func(r smRequest) bool {
@@ -377,6 +440,9 @@ func (s *System) drained() bool {
 }
 
 func (s *System) collect(workload string, completed bool) Result {
+	if s.tele != nil {
+		s.tele.FinishRun(s.cycle, s.snapshot)
+	}
 	res := Result{Workload: workload, Cycles: s.cycle, Completed: completed}
 	for _, sm := range s.sms {
 		res.Instructions += sm.Instructions

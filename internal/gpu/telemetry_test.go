@@ -1,0 +1,108 @@
+package gpu
+
+import (
+	"testing"
+
+	"shmgpu/internal/telemetry"
+)
+
+// instrumentedRun executes wl with a collector attached.
+func instrumentedRun(t *testing.T, cfg Config, wl Workload, tcfg telemetry.Config) (Result, *telemetry.Collector) {
+	t.Helper()
+	col := telemetry.New(tcfg)
+	sys := NewSystem(cfg, shmOptions())
+	sys.AttachTelemetry(col)
+	res := sys.Run(wl)
+	if res.Instructions == 0 {
+		t.Fatalf("no instructions executed: %+v", res)
+	}
+	return res, col
+}
+
+// TestTelemetryDoesNotPerturbSimulation is the observability layer's core
+// contract: attaching a collector must not change a single simulated number.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	wl := testStream(600)
+	plain := run(t, smallConfig(), shmOptions(), wl)
+	instr, _ := instrumentedRun(t, smallConfig(),
+		testStream(600), telemetry.Config{SampleInterval: 1000, CaptureEvents: true})
+	if plain.Cycles != instr.Cycles ||
+		plain.Instructions != instr.Instructions ||
+		plain.Traffic != instr.Traffic ||
+		plain.L2 != instr.L2 ||
+		plain.Ctr != instr.Ctr ||
+		plain.MAC != instr.MAC ||
+		plain.BMT != instr.BMT {
+		t.Errorf("instrumented run diverged:\nplain: %s\ninstr: %s", plain.String(), instr.String())
+	}
+}
+
+func TestProbeCountsMatchResultCounters(t *testing.T) {
+	res, col := instrumentedRun(t, smallConfig(), testStream(600),
+		telemetry.Config{SampleInterval: 1000})
+	if got := col.Count(telemetry.EvSMIssue); got != res.Instructions {
+		t.Errorf("sm_issue events %d != instructions %d", got, res.Instructions)
+	}
+	// Every DRAM enqueue is eventually serviced (the run drains).
+	if enq, srv := col.Count(telemetry.EvDRAMEnqueue), col.Count(telemetry.EvDRAMService); enq != srv {
+		t.Errorf("dram enqueue %d != service %d", enq, srv)
+	}
+	if col.Count(telemetry.EvL2Hit)+col.Count(telemetry.EvL2Miss) == 0 {
+		t.Error("no L2 probe events")
+	}
+	if col.Count(telemetry.EvMEEAccept) == 0 || col.Count(telemetry.EvMEEReadDone) == 0 {
+		t.Error("no MEE lifecycle events")
+	}
+	if col.MEEReadLatency.Count() != col.Count(telemetry.EvMEEReadDone) {
+		t.Error("MEE latency histogram count != read-done events")
+	}
+	if col.MEEReadLatency.P50() == 0 {
+		t.Error("MEE read latency p50 is zero")
+	}
+}
+
+func TestTimelineCoversRun(t *testing.T) {
+	res, col := instrumentedRun(t, smallConfig(), testStream(600),
+		telemetry.Config{SampleInterval: 5000})
+	tl := col.Timeline()
+	if len(tl.Samples) < 2 {
+		t.Fatalf("timeline has %d samples", len(tl.Samples))
+	}
+	last := tl.Samples[len(tl.Samples)-1]
+	if last.Cycle != res.Cycles {
+		t.Errorf("terminal sample at %d, run ended at %d", last.Cycle, res.Cycles)
+	}
+	if last.Instructions != res.Instructions {
+		t.Errorf("terminal sample instructions %d != result %d", last.Instructions, res.Instructions)
+	}
+	if last.Traffic != res.Traffic {
+		t.Error("terminal sample traffic != result traffic")
+	}
+	// Cumulative samples must be monotonic in cycle and instructions.
+	for i := 1; i < len(tl.Samples); i++ {
+		if tl.Samples[i].Cycle <= tl.Samples[i-1].Cycle {
+			t.Fatalf("samples not strictly increasing in cycle at %d", i)
+		}
+		if tl.Samples[i].Instructions < tl.Samples[i-1].Instructions {
+			t.Fatalf("cumulative instructions decreased at %d", i)
+		}
+	}
+}
+
+func TestDetachTelemetry(t *testing.T) {
+	sys := NewSystem(smallConfig(), shmOptions())
+	sys.AttachTelemetry(telemetry.New(telemetry.Config{}))
+	sys.AttachTelemetry(nil) // detach must restore the nil fast path
+	res := sys.Run(testStream(50))
+	if res.Instructions == 0 {
+		t.Fatal("detached run executed nothing")
+	}
+	for _, sm := range sys.sms {
+		if sm.probe != nil {
+			t.Fatal("SM probe not detached")
+		}
+	}
+	for _, ch := range sys.channels {
+		_ = ch // channel probe is private to dram; detach is covered by the run not panicking
+	}
+}

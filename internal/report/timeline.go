@@ -1,0 +1,33 @@
+package report
+
+import (
+	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
+)
+
+// TimelineTable renders a sampled run timeline as per-interval activity:
+// instructions issued, IPC, DRAM bytes split data/metadata, L2 miss rate and
+// the end-of-interval DRAM queue occupancy. Returns nil when the timeline
+// holds fewer than two samples (nothing to difference).
+func TimelineTable(tl telemetry.Timeline) *Table {
+	deltas := tl.Deltas()
+	if len(deltas) == 0 {
+		return nil
+	}
+	t := NewTable("Timeline (per sampling interval)",
+		"cycle", "instr", "ipc", "data B", "meta B", "l2 miss", "dram pend")
+	prev := tl.Samples[0].Cycle
+	for _, d := range deltas {
+		span := d.Cycle - prev
+		ipc := 0.0
+		if span > 0 {
+			ipc = float64(d.Instructions) / float64(span)
+		}
+		meta := d.Traffic.MetadataBytes()
+		t.AddRow(d.Cycle, d.Instructions, ipc,
+			d.Traffic.Bytes(stats.TrafficData), meta,
+			Percent(d.L2.MissRate()), d.DRAMPending)
+		prev = d.Cycle
+	}
+	return t
+}

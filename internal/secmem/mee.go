@@ -10,6 +10,7 @@ import (
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/metadata"
 	"shmgpu/internal/stats"
+	"shmgpu/internal/telemetry"
 )
 
 // DRAMPort routes sector requests to a partition's DRAM channel. The GPU
@@ -49,7 +50,15 @@ type txn struct {
 	haveOTP  bool
 	otpAt    uint64
 	dataAt   uint64
+	submitAt uint64
 	enqueued bool // pushed on the ready heap
+}
+
+// inputEntry is one queued L2 request with its submission cycle (used for
+// the telemetry latency accounting; the timing model itself is unchanged).
+type inputEntry struct {
+	req memdef.Request
+	at  uint64
 }
 
 type readyTxn struct {
@@ -107,7 +116,7 @@ type MEE struct {
 	// sharedCounter is the on-chip shared counter for read-only regions.
 	sharedCounter uint64
 
-	input     []memdef.Request
+	input     []inputEntry
 	outgoing  []outgoing
 	pending   map[uint64]pendingEntry
 	ctrWait   map[memdef.Addr][]*txn
@@ -124,11 +133,25 @@ type MEE struct {
 	// trace, when set, observes every data access the MEE processes
 	// (debug/analysis hook; see SetTrace).
 	trace func(now uint64, r memdef.Request)
+
+	// probe, when non-nil, observes the request lifecycle (accept,
+	// read-done latency), metadata fetches, predictions, and detections.
+	probe telemetry.Probe
 }
 
 // SetTrace installs a per-access observer (nil to disable). Used by
 // analysis tooling; not part of the timing model.
 func (m *MEE) SetTrace(fn func(now uint64, r memdef.Request)) { m.trace = fn }
+
+// SetProbe installs the telemetry probe (nil to disable), propagating it to
+// the MAT file so tracker arms/skips are observed too.
+func (m *MEE) SetProbe(p telemetry.Probe) {
+	m.probe = p
+	if m.mats != nil {
+		m.mats.Probe = p
+		m.mats.Part = int16(m.cfg.Partition)
+	}
+}
 
 // NewMEE builds one partition's engine. port routes DRAM requests; layout
 // is derived from cfg.ProtectedBytes.
@@ -306,8 +329,10 @@ func (m *MEE) SubmitRead(r memdef.Request, now uint64) bool {
 		return false
 	}
 	r.Kind = memdef.Read
-	m.input = append(m.input, r)
-	_ = now
+	m.input = append(m.input, inputEntry{req: r, at: now})
+	if m.probe != nil {
+		m.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMEEAccept, Part: int16(m.cfg.Partition), Class: 0})
+	}
 	return true
 }
 
@@ -317,8 +342,10 @@ func (m *MEE) SubmitWrite(r memdef.Request, now uint64) bool {
 		return false
 	}
 	r.Kind = memdef.Write
-	m.input = append(m.input, r)
-	_ = now
+	m.input = append(m.input, inputEntry{req: r, at: now})
+	if m.probe != nil {
+		m.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMEEAccept, Part: int16(m.cfg.Partition), Class: 1})
+	}
 	return true
 }
 
@@ -342,12 +369,12 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 	// 2. Process input requests while there is outgoing headroom.
 	issued := 0
 	for len(m.input) > 0 && issued < m.cfg.IssuePerCycle && len(m.outgoing) < 32 {
-		r := m.input[0]
+		e := m.input[0]
 		m.input = m.input[1:]
 		if m.cfg.Enabled {
-			m.process(r, now)
+			m.process(e.req, e.at, now)
 		} else {
-			m.passthrough(r, now)
+			m.passthrough(e.req, e.at, now)
 		}
 		issued++
 	}
@@ -361,6 +388,12 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 	for len(m.ready) > 0 && m.ready[0].at <= now {
 		rt := heap.Pop(&m.ready).(readyTxn)
 		m.responses = append(m.responses, rt.t.req)
+		if m.probe != nil {
+			m.probe.Emit(telemetry.Event{
+				Cycle: rt.at, Kind: telemetry.EvMEEReadDone,
+				Part: int16(m.cfg.Partition), Value: rt.at - rt.t.submitAt,
+			})
+		}
 	}
 	out := m.responses
 	m.responses = nil
@@ -368,12 +401,12 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 }
 
 // passthrough is the insecure baseline: data requests go straight to DRAM.
-func (m *MEE) passthrough(r memdef.Request, now uint64) {
+func (m *MEE) passthrough(r memdef.Request, submitAt, now uint64) {
 	if r.Kind == memdef.Write {
 		m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Write, Class: stats.TrafficData}, pendingEntry{kind: pkMisc})
 		return
 	}
-	t := &txn{req: r, haveOTP: true}
+	t := &txn{req: r, haveOTP: true, submitAt: submitAt}
 	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Read, Class: stats.TrafficData}, pendingEntry{kind: pkData, txn: t})
 	_ = now
 }
@@ -410,6 +443,16 @@ func (m *MEE) sendMeta(kind pendingKind, metaAddr memdef.Addr, rw memdef.AccessK
 		part, local = m.pmap.ToLocal(metaAddr)
 	}
 	m.send(part, dram.Req{Local: local, Kind: rw, Class: class}, pendingEntry{kind: kind, key: metaAddr})
+	if m.probe != nil {
+		var unit int16
+		if rw == memdef.Write {
+			unit = 1
+		}
+		m.probe.Emit(telemetry.Event{
+			Cycle: m.lastTick, Kind: telemetry.EvMetaFetch,
+			Part: int16(m.cfg.Partition), Class: uint8(class), Unit: unit,
+		})
+	}
 }
 
 // isReadOnly decides the read-only status used by the encryption path:
@@ -566,10 +609,23 @@ func (m *MEE) spillWritebacks(kind pendingKind, wbs []cache.Writeback, class sta
 }
 
 // process handles one data request through the full secure-memory path.
-func (m *MEE) process(r memdef.Request, now uint64) {
+// submitAt is the cycle the request entered the input queue (telemetry
+// latency accounting only).
+func (m *MEE) process(r memdef.Request, submitAt, now uint64) {
 	meta := m.metaAddrFor(r)
 	ro := m.isReadOnly(r)
 	streaming := m.isStreaming(r)
+
+	if m.probe != nil {
+		if m.cfg.ReadOnlyOpt {
+			m.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvPredictRO,
+				Part: int16(m.cfg.Partition), Class: boolClass(ro)})
+		}
+		if m.cfg.DualGranMAC {
+			m.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvPredictStream,
+				Part: int16(m.cfg.Partition), Class: boolClass(streaming)})
+		}
+	}
 
 	// Accuracy harness observes the prediction before any state updates.
 	if m.roAcc != nil {
@@ -605,11 +661,19 @@ func (m *MEE) process(r memdef.Request, now uint64) {
 		m.processWrite(r, meta, ro, streaming, now)
 		return
 	}
-	m.processRead(r, meta, ro, streaming, now)
+	m.processRead(r, meta, ro, streaming, submitAt, now)
 }
 
-func (m *MEE) processRead(r memdef.Request, meta memdef.Addr, ro, streaming bool, now uint64) {
-	t := &txn{req: r}
+// boolClass encodes a prediction outcome for probe events.
+func boolClass(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (m *MEE) processRead(r memdef.Request, meta memdef.Addr, ro, streaming bool, submitAt, now uint64) {
+	t := &txn{req: r, submitAt: submitAt}
 
 	// Data fetch always goes to this partition's DRAM.
 	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Read, Class: stats.TrafficData},
@@ -839,6 +903,22 @@ func (m *MEE) applyDetection(det detectors.Detection, now uint64) {
 		m.Reg.Inc("det_stream")
 	} else {
 		m.Reg.Inc("det_random")
+	}
+	if m.probe != nil {
+		var class uint8
+		if det.Streaming {
+			class |= 1
+		}
+		if det.TimedOut {
+			class |= 2
+		}
+		if det.HadWrite {
+			class |= 4
+		}
+		m.probe.Emit(telemetry.Event{
+			Cycle: now, Kind: telemetry.EvDetection,
+			Part: int16(m.cfg.Partition), Class: class, Value: uint64(det.Accesses),
+		})
 	}
 	if det.TimedOut {
 		m.Reg.Inc("det_timeout")

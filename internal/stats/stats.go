@@ -255,6 +255,23 @@ func (r *Registry) Merge(other *Registry) {
 	}
 }
 
+// CounterValue is one named counter in a deterministic Registry snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// Snapshot returns every counter sorted by name. All consumers that render
+// or export the registry (reports, traces, metrics dumps) go through this
+// so output is byte-stable across runs.
+func (r *Registry) Snapshot() []CounterValue {
+	out := make([]CounterValue, 0, len(r.counters))
+	for _, n := range r.Names() {
+		out = append(out, CounterValue{Name: n, Value: r.counters[n]})
+	}
+	return out
+}
+
 // String renders the registry for debugging.
 func (r *Registry) String() string {
 	var b strings.Builder

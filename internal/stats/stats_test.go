@@ -161,3 +161,26 @@ func TestPredictorMerge(t *testing.T) {
 		t.Errorf("merge wrong: %+v", a)
 	}
 }
+
+func TestRegistrySnapshotSortedAndComplete(t *testing.T) {
+	var r Registry
+	r.Add("zeta", 3)
+	r.Add("alpha", 1)
+	r.Inc("midway")
+	r.Add("alpha", 1)
+	snap := r.Snapshot()
+	want := []CounterValue{{"alpha", 2}, {"midway", 1}, {"zeta", 3}}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d", len(snap), len(want))
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, snap[i], want[i])
+		}
+	}
+	// Empty registry yields an empty (non-nil-safe-to-range) slice.
+	var empty Registry
+	if len(empty.Snapshot()) != 0 {
+		t.Error("empty registry snapshot not empty")
+	}
+}

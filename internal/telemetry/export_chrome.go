@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"shmgpu/internal/stats"
+)
+
+// chromeEvent is one trace event in the Chrome trace-event JSON format
+// (loadable in chrome://tracing and Perfetto). Timestamps are in
+// microseconds by convention; we map one simulated cycle to one
+// microsecond, so trace durations read directly as cycles.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   uint64                 `json:"ts"`
+	Dur  uint64                 `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Cat  string                 `json:"cat,omitempty"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// OtherData carries the run manifest; tracing UIs show it in the
+	// metadata panel.
+	OtherData Manifest `json:"otherData"`
+}
+
+// Chrome trace process ids: pid 0 is the aggregate GPU view (timeline
+// counters); pid p+1 is memory partition p (lifecycle events).
+const chromePidGPU = 0
+
+// WriteChromeTrace exports the collector's timeline and captured lifecycle
+// events as Chrome trace-event JSON. The output is deterministic for a
+// deterministic run (map args marshal with sorted keys).
+func WriteChromeTrace(w io.Writer, c *Collector, sum RunSummary, m Manifest) error {
+	var evs []chromeEvent
+
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePidGPU,
+		Args: map[string]interface{}{"name": fmt.Sprintf("gpu %s/%s", sum.Workload, sum.Scheme)},
+	})
+
+	// Interval counters from the timeline: per-class traffic, IPC, cache
+	// miss rates, detector activity. Counter ("C") events plot as stacked
+	// area tracks.
+	tl := c.Timeline()
+	interval := tl.Interval
+	if interval == 0 {
+		interval = 1
+	}
+	for _, d := range tl.Deltas() {
+		traffic := map[string]interface{}{}
+		for cl := stats.TrafficClass(0); cl < stats.TrafficClass(stats.NumTrafficClasses); cl++ {
+			traffic[cl.String()] = d.Traffic.Bytes(cl)
+		}
+		evs = append(evs,
+			chromeEvent{Name: "dram traffic (bytes/interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU, Args: traffic},
+			chromeEvent{Name: "ipc", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+				Args: map[string]interface{}{"ipc": float64(d.Instructions) / float64(interval)}},
+			chromeEvent{Name: "l2 misses (per interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+				Args: map[string]interface{}{"misses": d.L2.Misses}},
+			chromeEvent{Name: "dram pending (gauge)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+				Args: map[string]interface{}{"pending": d.DRAMPending}},
+			chromeEvent{Name: "detector activity (per interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+				Args: map[string]interface{}{
+					"arms":       d.Events[EvMonitorArm],
+					"detections": d.Events[EvDetection],
+					"skips":      d.Events[EvMonitorSkip],
+				}},
+		)
+	}
+
+	// Lifecycle events from the captured trace.
+	for _, e := range c.Events() {
+		pid := int(e.Part) + 1
+		if e.Part < 0 {
+			pid = chromePidGPU
+		}
+		switch e.Kind {
+		case EvMEEReadDone:
+			start := e.Cycle
+			if e.Value < start {
+				start = e.Cycle - e.Value
+			} else {
+				start = 0
+			}
+			dur := e.Value
+			if dur == 0 {
+				dur = 1
+			}
+			evs = append(evs, chromeEvent{
+				Name: "mee-read", Ph: "X", Ts: start, Dur: dur,
+				Pid: pid, Tid: int(e.Unit), Cat: "mee",
+			})
+		case EvDetection:
+			name := "detect-random"
+			if e.Class&1 != 0 {
+				name = "detect-stream"
+			}
+			evs = append(evs, chromeEvent{
+				Name: name, Ph: "i", Ts: e.Cycle, Pid: pid, Tid: int(e.Unit),
+				Cat: "detector", S: "t",
+				Args: map[string]interface{}{
+					"accesses":  e.Value,
+					"timed_out": e.Class&2 != 0,
+					"had_write": e.Class&4 != 0,
+				},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData:       m,
+	})
+}

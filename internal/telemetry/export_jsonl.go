@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonlRecord wraps each JSONL line with a type tag so consumers can
+// stream-filter without schema knowledge.
+type jsonlRecord struct {
+	Type string `json:"type"`
+	// Exactly one of the following is set, matching Type.
+	Manifest *Manifest   `json:"manifest,omitempty"`
+	Sample   *Snapshot   `json:"sample,omitempty"`
+	Event    *jsonlEvent `json:"event,omitempty"`
+	Summary  *RunSummary `json:"summary,omitempty"`
+}
+
+// jsonlEvent is an Event with the kind rendered symbolically.
+type jsonlEvent struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	Class uint8  `json:"class"`
+	Part  int16  `json:"part"`
+	Unit  int16  `json:"unit"`
+	Value uint64 `json:"value"`
+}
+
+// WriteJSONL exports the run as a JSON-lines stream: one manifest record,
+// one sample record per timeline interval (per-interval deltas), one event
+// record per captured lifecycle event, and a final summary record. Every
+// line is a self-contained JSON object.
+func WriteJSONL(w io.Writer, c *Collector, sum RunSummary, m Manifest) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonlRecord{Type: "manifest", Manifest: &m}); err != nil {
+		return err
+	}
+	for _, d := range c.Timeline().Deltas() {
+		d := d
+		if err := enc.Encode(jsonlRecord{Type: "sample", Sample: &d}); err != nil {
+			return err
+		}
+	}
+	for _, e := range c.Events() {
+		je := jsonlEvent{
+			Cycle: e.Cycle, Kind: e.Kind.String(), Class: e.Class,
+			Part: e.Part, Unit: e.Unit, Value: e.Value,
+		}
+		if err := enc.Encode(jsonlRecord{Type: "event", Event: &je}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(jsonlRecord{Type: "summary", Summary: &sum})
+}

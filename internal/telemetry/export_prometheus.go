@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"shmgpu/internal/stats"
+)
+
+// WritePrometheus exports the end-of-run metrics as a Prometheus text
+// exposition dump: run counters, per-class traffic, cache stats, predictor
+// breakdowns, the event registry, probe event counts, and the latency and
+// occupancy histograms (with p50/p95/p99 gauges). The manifest rides along
+// as comment lines. Output is deterministic: every map-keyed series is
+// emitted in sorted order.
+func WritePrometheus(w io.Writer, c *Collector, sum RunSummary, m Manifest) error {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# shmgpu run metrics (schema v%d)\n", m.SchemaVersion)
+	fmt.Fprintf(&b, "# manifest tool=%q workload=%q scheme=%q quick=%v sms=%d partitions=%d max_cycles=%d sample_interval=%d git_rev=%q started=%q wall_time=%q\n",
+		m.Tool, m.Workload, m.Scheme, m.Quick, m.SMs, m.Partitions, m.MaxCycles, m.SampleInterval, m.GitRev, m.Started, m.WallTime)
+
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("shmgpu_cycles_total", "Simulated cycles.")
+	fmt.Fprintf(&b, "shmgpu_cycles_total %d\n", sum.Cycles)
+	counter("shmgpu_instructions_total", "Issued warp instructions.")
+	fmt.Fprintf(&b, "shmgpu_instructions_total %d\n", sum.Instructions)
+	gauge("shmgpu_ipc", "Instructions per cycle.")
+	fmt.Fprintf(&b, "shmgpu_ipc %g\n", sum.IPC)
+	gauge("shmgpu_bus_utilization", "Mean DRAM data-bus utilization [0,1].")
+	fmt.Fprintf(&b, "shmgpu_bus_utilization %g\n", sum.BusUtilization)
+	gauge("shmgpu_run_completed", "1 when all warps finished before the cycle budget.")
+	fmt.Fprintf(&b, "shmgpu_run_completed %d\n", boolToInt(sum.Completed))
+
+	counter("shmgpu_traffic_bytes_total", "DRAM bytes moved by traffic class and direction.")
+	for cl := stats.TrafficClass(0); cl < stats.TrafficClass(stats.NumTrafficClasses); cl++ {
+		fmt.Fprintf(&b, "shmgpu_traffic_bytes_total{class=%q,dir=\"read\"} %d\n", cl.String(), sum.Traffic.ReadBytes[cl])
+		fmt.Fprintf(&b, "shmgpu_traffic_bytes_total{class=%q,dir=\"write\"} %d\n", cl.String(), sum.Traffic.WriteBytes[cl])
+	}
+	gauge("shmgpu_bandwidth_overhead_ratio", "Security-metadata bytes / regular data bytes (paper Fig. 14).")
+	fmt.Fprintf(&b, "shmgpu_bandwidth_overhead_ratio %g\n", sum.Traffic.OverheadRatio())
+
+	counter("shmgpu_cache_accesses_total", "Cache accesses (hits + misses).")
+	counter("shmgpu_cache_misses_total", "Cache misses.")
+	counter("shmgpu_cache_writebacks_total", "Cache write-backs.")
+	for _, nc := range sum.Caches {
+		fmt.Fprintf(&b, "shmgpu_cache_accesses_total{cache=%q} %d\n", nc.Name, nc.Stats.Accesses())
+		fmt.Fprintf(&b, "shmgpu_cache_misses_total{cache=%q} %d\n", nc.Name, nc.Stats.Misses)
+		fmt.Fprintf(&b, "shmgpu_cache_writebacks_total{cache=%q} %d\n", nc.Name, nc.Stats.Writebacks)
+	}
+
+	counter("shmgpu_predictor_outcomes_total", "Prediction outcomes by predictor and class (paper Figs. 10/11).")
+	writePredictor(&b, "readonly", sum.RO)
+	writePredictor(&b, "streaming", sum.Stream)
+
+	counter("shmgpu_registry_total", "Ad-hoc MEE/detector event counters, sorted by name.")
+	for _, cv := range sum.Counters {
+		fmt.Fprintf(&b, "shmgpu_registry_total{name=%q} %d\n", cv.Name, cv.Value)
+	}
+
+	counter("shmgpu_probe_events_total", "Probe events by kind.")
+	counts := c.Counts()
+	for k := 0; k < NumEventKinds; k++ {
+		fmt.Fprintf(&b, "shmgpu_probe_events_total{kind=%q} %d\n", EventKind(k).String(), counts[k])
+	}
+	if d := c.DroppedEvents(); d != 0 {
+		counter("shmgpu_probe_events_dropped_total", "Capture-worthy events dropped after the trace filled.")
+		fmt.Fprintf(&b, "shmgpu_probe_events_dropped_total %d\n", d)
+	}
+
+	if c != nil {
+		writeHistogram(&b, "shmgpu_mee_read_latency_cycles", "MEE submit-to-response read latency in cycles.", &c.MEEReadLatency)
+		writeHistogram(&b, "shmgpu_dram_service_latency_cycles", "DRAM sector service latency in cycles.", &c.DRAMServiceLatency)
+		writeHistogram(&b, "shmgpu_dram_queue_depth", "DRAM channel queue depth at enqueue.", &c.DRAMQueueDepth)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePredictor(b *strings.Builder, name string, ps stats.PredictorStats) {
+	for o := stats.PredictorOutcome(0); o < stats.PredictorOutcome(stats.NumPredictorOutcomes); o++ {
+		fmt.Fprintf(b, "shmgpu_predictor_outcomes_total{predictor=%q,outcome=%q} %d\n", name, o.String(), ps.Counts[o])
+	}
+}
+
+// writeHistogram emits one log-bucketed histogram in Prometheus histogram
+// form (cumulative le buckets) plus percentile gauges.
+func writeHistogram(b *strings.Builder, name, help string, h *Histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for _, bk := range h.Buckets() {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Upper, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	for _, q := range []struct {
+		label string
+		v     uint64
+	}{{"p50", h.P50()}, {"p95", h.P95()}, {"p99", h.P99()}} {
+		qname := name + "_" + q.label
+		fmt.Fprintf(b, "# HELP %s %s (%s upper bound)\n# TYPE %s gauge\n", qname, help, q.label, qname)
+		fmt.Fprintf(b, "%s %d\n", qname, q.v)
+	}
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+)
+
+// histBuckets is the number of logarithmic buckets: bucket 0 holds the
+// value 0, and bucket i (i >= 1) holds values v with bits.Len64(v) == i,
+// i.e. the range [2^(i-1), 2^i - 1]. 64-bit values need 65 buckets.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed histogram of non-negative integer samples
+// (latencies in cycles, queue occupancies). The zero value is ready to use.
+// Observe is O(1) with no allocation, so it is safe on simulator hot paths
+// behind the probe nil check.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucketIndex returns the bucket for value v.
+func bucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bucketIndex(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]): the
+// inclusive upper bound of the bucket containing the ceil(q*n)-th smallest
+// sample. The result is exact for values 0 and 1 and conservative (within
+// a factor of 2) elsewhere, which is the usual log-bucket trade-off.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return h.max
+}
+
+// P50 returns the median upper bound.
+func (h *Histogram) P50() uint64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound.
+func (h *Histogram) P95() uint64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Histogram) P99() uint64 { return h.Quantile(0.99) }
+
+// Bucket is one non-empty histogram bucket for export.
+type Bucket struct {
+	// Upper is the inclusive upper bound of the bucket.
+	Upper uint64
+	// Count is the number of samples in the bucket.
+	Count uint64
+}
+
+// Buckets returns the buckets up to and including the highest non-empty
+// one (empty slice when no samples). Intermediate empty buckets are
+// retained so cumulative counts are easy to build.
+func (h *Histogram) Buckets() []Bucket {
+	top := -1
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i] != 0 {
+			top = i
+			break
+		}
+	}
+	if top < 0 {
+		return nil
+	}
+	out := make([]Bucket, top+1)
+	for i := 0; i <= top; i++ {
+		out[i] = Bucket{Upper: BucketUpper(i), Count: h.counts[i]}
+	}
+	return out
+}
+
+// Merge adds other's samples into h (max is the pairwise max).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

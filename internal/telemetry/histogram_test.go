@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {1<<11 - 1, 11},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// A value must never exceed its bucket's upper bound, and must exceed
+	// the previous bucket's.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1023, 1024, 1 << 40, math.MaxUint64} {
+		i := bucketIndex(v)
+		if v > BucketUpper(i) {
+			t.Errorf("value %d above its bucket upper %d", v, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Errorf("value %d not above previous bucket upper %d", v, BucketUpper(i-1))
+		}
+	}
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d", BucketUpper(0))
+	}
+	if BucketUpper(10) != 1023 {
+		t.Errorf("BucketUpper(10) = %d", BucketUpper(10))
+	}
+	if BucketUpper(64) != math.MaxUint64 {
+		t.Errorf("BucketUpper(64) = %d", BucketUpper(64))
+	}
+}
+
+func TestHistogramCountsSumMax(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	for _, v := range []uint64{0, 1, 5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 111 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.Mean(); got != 111.0/5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 samples of value 10 (bucket upper 15), 10 of value 1000 (upper
+	// 1023). p50 and p90 land in the low bucket, p95 and beyond in the high.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.P50(); got != 15 {
+		t.Errorf("P50 = %d, want 15", got)
+	}
+	if got := h.Quantile(0.90); got != 15 {
+		t.Errorf("q90 = %d, want 15", got)
+	}
+	if got := h.P95(); got != 1023 {
+		t.Errorf("P95 = %d, want 1023", got)
+	}
+	if got := h.P99(); got != 1023 {
+		t.Errorf("P99 = %d, want 1023", got)
+	}
+	if got := h.Quantile(0); got != 15 {
+		t.Errorf("q0 = %d, want 15 (first sample's bucket)", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("q1 = %d, want 1023", got)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping broken")
+	}
+	// Empty histogram.
+	var empty Histogram
+	if empty.P50() != 0 {
+		t.Errorf("empty P50 = %d", empty.P50())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	if h.Buckets() != nil {
+		t.Fatal("empty histogram has buckets")
+	}
+	h.Observe(0)
+	h.Observe(6) // bucket 3, upper 7
+	bks := h.Buckets()
+	if len(bks) != 4 {
+		t.Fatalf("got %d buckets, want 4 (0..3 retained)", len(bks))
+	}
+	if bks[0] != (Bucket{Upper: 0, Count: 1}) {
+		t.Errorf("bucket 0 = %+v", bks[0])
+	}
+	if bks[1].Count != 0 || bks[2].Count != 0 {
+		t.Errorf("intermediate buckets not empty: %+v", bks)
+	}
+	if bks[3] != (Bucket{Upper: 7, Count: 1}) {
+		t.Errorf("bucket 3 = %+v", bks[3])
+	}
+	// Cumulative over all buckets equals the count.
+	var cum uint64
+	for _, b := range bks {
+		cum += b.Count
+	}
+	if cum != h.Count() {
+		t.Errorf("cumulative %d != count %d", cum, h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(3)
+	a.Observe(100)
+	b.Observe(7)
+	b.Observe(200)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Sum() != 310 || a.Max() != 200 {
+		t.Errorf("merged: count=%d sum=%d max=%d", a.Count(), a.Sum(), a.Max())
+	}
+}

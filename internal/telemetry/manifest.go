@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"os/exec"
+	"strings"
+
+	"shmgpu/internal/stats"
+)
+
+// SchemaVersion identifies the export format; bump on breaking changes to
+// the trace/metrics layouts.
+const SchemaVersion = 1
+
+// Manifest identifies one run in every export: what was simulated, under
+// which configuration, by which build. All fields are plain values so the
+// manifest marshals deterministically.
+type Manifest struct {
+	Tool          string `json:"tool"`
+	SchemaVersion int    `json:"schema_version"`
+	Workload      string `json:"workload"`
+	Scheme        string `json:"scheme"`
+	// Quick reports whether the scaled-down configuration was used.
+	Quick bool `json:"quick"`
+	// SMs, Partitions and MaxCycles summarize the GPU configuration.
+	SMs        int    `json:"sms"`
+	Partitions int    `json:"partitions"`
+	MaxCycles  uint64 `json:"max_cycles"`
+	// SampleInterval is the timeline sampling period (0 = disabled).
+	SampleInterval uint64 `json:"sample_interval"`
+	// GitRev is the source revision the binary was built from ("" when
+	// unknown).
+	GitRev string `json:"git_rev,omitempty"`
+	// Started is the wall-clock start time (RFC3339; "" in tests).
+	Started string `json:"started,omitempty"`
+	// WallTime is the elapsed wall-clock duration of the run ("" in
+	// tests).
+	WallTime string `json:"wall_time,omitempty"`
+}
+
+// GitRevision returns the short git revision of dir, or "" when git or the
+// repository is unavailable. Used by the commands to stamp manifests; never
+// fails the run.
+func GitRevision(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// NamedCache is one cache's end-of-run stats under a stable name.
+type NamedCache struct {
+	Name  string           `json:"name"`
+	Stats stats.CacheStats `json:"stats"`
+}
+
+// RunSummary is the neutral end-of-run result the exporters consume. It
+// mirrors the simulator's Result without importing it (the GPU packages
+// import telemetry, not the other way around).
+type RunSummary struct {
+	Workload       string               `json:"workload"`
+	Scheme         string               `json:"scheme"`
+	Cycles         uint64               `json:"cycles"`
+	Instructions   uint64               `json:"instructions"`
+	IPC            float64              `json:"ipc"`
+	Completed      bool                 `json:"completed"`
+	BusUtilization float64              `json:"bus_utilization"`
+	Traffic        stats.Traffic        `json:"traffic"`
+	Caches         []NamedCache         `json:"caches"`
+	RO             stats.PredictorStats `json:"readonly_predictor"`
+	Stream         stats.PredictorStats `json:"streaming_predictor"`
+	Counters       []stats.CounterValue `json:"counters"`
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"testing"
+
+	"shmgpu/internal/stats"
+)
+
+// fakeSnap builds a snapshot function whose cumulative counters grow
+// linearly with the number of calls.
+func fakeSnap(calls *int) func() Snapshot {
+	return func() Snapshot {
+		*calls++
+		var s Snapshot
+		s.Instructions = uint64(*calls) * 100
+		s.Traffic.AddRead(stats.TrafficData, uint64(*calls)*32)
+		s.DRAMPending = *calls
+		return s
+	}
+}
+
+func TestSamplerIntervalMath(t *testing.T) {
+	c := New(Config{SampleInterval: 1000})
+	calls := 0
+	snap := fakeSnap(&calls)
+	for cy := uint64(0); cy < 3500; cy++ {
+		c.MaybeSample(cy, snap)
+	}
+	c.FinishRun(3500, snap)
+	tl := c.Timeline()
+	// Samples at 0, 1000, 2000, 3000, plus the terminal one at 3500.
+	want := []uint64{0, 1000, 2000, 3000, 3500}
+	if len(tl.Samples) != len(want) {
+		t.Fatalf("got %d samples, want %d: %+v", len(tl.Samples), len(want), tl.Samples)
+	}
+	for i, w := range want {
+		if tl.Samples[i].Cycle != w {
+			t.Errorf("sample %d at cycle %d, want %d", i, tl.Samples[i].Cycle, w)
+		}
+	}
+	if calls != len(want) {
+		t.Errorf("snapshot callback invoked %d times, want %d", calls, len(want))
+	}
+	if c.EndCycle() != 3500 {
+		t.Errorf("EndCycle = %d", c.EndCycle())
+	}
+}
+
+func TestSamplerShortRun(t *testing.T) {
+	// A run shorter than one interval still yields two samples (start and
+	// terminal), so Deltas produces one usable interval.
+	c := New(Config{SampleInterval: 10_000})
+	calls := 0
+	snap := fakeSnap(&calls)
+	for cy := uint64(0); cy < 42; cy++ {
+		c.MaybeSample(cy, snap)
+	}
+	c.FinishRun(42, snap)
+	tl := c.Timeline()
+	if len(tl.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(tl.Samples))
+	}
+	d := tl.Deltas()
+	if len(d) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(d))
+	}
+	if d[0].Cycle != 42 || d[0].Instructions != 100 {
+		t.Errorf("delta = %+v", d[0])
+	}
+}
+
+func TestSamplerFinishIdempotentAndCoincident(t *testing.T) {
+	c := New(Config{SampleInterval: 100})
+	calls := 0
+	snap := fakeSnap(&calls)
+	c.MaybeSample(0, snap)
+	c.MaybeSample(100, snap)
+	// Finish exactly on the last sample cycle: no duplicate sample.
+	c.FinishRun(100, snap)
+	c.FinishRun(200, snap) // idempotent: ignored
+	tl := c.Timeline()
+	if len(tl.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2 (no duplicate terminal)", len(tl.Samples))
+	}
+	if c.EndCycle() != 100 {
+		t.Errorf("EndCycle = %d after second FinishRun, want 100", c.EndCycle())
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	c := New(Config{})
+	calls := 0
+	snap := fakeSnap(&calls)
+	for cy := uint64(0); cy < 1000; cy++ {
+		c.MaybeSample(cy, snap)
+	}
+	c.FinishRun(1000, snap)
+	if calls != 0 {
+		t.Errorf("snapshot invoked %d times with sampling disabled", calls)
+	}
+	if len(c.Timeline().Samples) != 0 {
+		t.Error("timeline populated with sampling disabled")
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Emit(Event{Kind: EvSMIssue})
+	c.MaybeSample(0, func() Snapshot { t.Fatal("snapshot on nil collector"); return Snapshot{} })
+	c.FinishRun(10, nil)
+	if c.Count(EvSMIssue) != 0 || c.Events() != nil || c.DroppedEvents() != 0 {
+		t.Error("nil collector returned non-zero state")
+	}
+	if len(c.Timeline().Samples) != 0 || c.EndCycle() != 0 {
+		t.Error("nil collector timeline not empty")
+	}
+}
+
+func TestDeltasDifferenceCumulativeCounters(t *testing.T) {
+	c := New(Config{SampleInterval: 10})
+	calls := 0
+	snap := fakeSnap(&calls)
+	c.MaybeSample(0, snap)
+	c.Emit(Event{Kind: EvL2Miss})
+	c.Emit(Event{Kind: EvL2Miss})
+	c.MaybeSample(10, snap)
+	c.Emit(Event{Kind: EvL2Miss})
+	c.MaybeSample(20, snap)
+	d := c.Timeline().Deltas()
+	if len(d) != 2 {
+		t.Fatalf("got %d deltas", len(d))
+	}
+	if d[0].Events[EvL2Miss] != 2 || d[1].Events[EvL2Miss] != 1 {
+		t.Errorf("event deltas = %d, %d; want 2, 1", d[0].Events[EvL2Miss], d[1].Events[EvL2Miss])
+	}
+	if d[0].Instructions != 100 || d[1].Instructions != 100 {
+		t.Errorf("instruction deltas = %d, %d", d[0].Instructions, d[1].Instructions)
+	}
+	// Gauges keep end-of-interval values, not differences.
+	if d[0].DRAMPending != 2 || d[1].DRAMPending != 3 {
+		t.Errorf("gauge deltas = %d, %d; want 2, 3", d[0].DRAMPending, d[1].DRAMPending)
+	}
+}
+
+func TestEventCaptureFilterAndCap(t *testing.T) {
+	c := New(Config{CaptureEvents: true, MaxEvents: 3})
+	// High-frequency kinds are never captured.
+	c.Emit(Event{Kind: EvSMIssue})
+	c.Emit(Event{Kind: EvL2Hit})
+	c.Emit(Event{Kind: EvDRAMEnqueue, Value: 5})
+	if len(c.Events()) != 0 {
+		t.Fatalf("high-frequency kinds captured: %+v", c.Events())
+	}
+	// Lifecycle kinds are captured up to the cap; overflow is counted.
+	for i := 0; i < 5; i++ {
+		c.Emit(Event{Cycle: uint64(i), Kind: EvDetection})
+	}
+	if len(c.Events()) != 3 {
+		t.Errorf("captured %d events, want 3", len(c.Events()))
+	}
+	if c.DroppedEvents() != 2 {
+		t.Errorf("dropped = %d, want 2", c.DroppedEvents())
+	}
+	// Counters still see everything.
+	if c.Count(EvDetection) != 5 || c.Count(EvSMIssue) != 1 {
+		t.Errorf("counts wrong: det=%d issue=%d", c.Count(EvDetection), c.Count(EvSMIssue))
+	}
+}
+
+func TestCollectorRoutesHistograms(t *testing.T) {
+	c := New(Config{})
+	c.Emit(Event{Kind: EvDRAMEnqueue, Value: 7})
+	c.Emit(Event{Kind: EvDRAMService, Value: 120})
+	c.Emit(Event{Kind: EvMEEReadDone, Value: 900})
+	if c.DRAMQueueDepth.Count() != 1 || c.DRAMQueueDepth.Max() != 7 {
+		t.Error("queue-depth histogram not fed")
+	}
+	if c.DRAMServiceLatency.Count() != 1 || c.DRAMServiceLatency.Max() != 120 {
+		t.Error("service-latency histogram not fed")
+	}
+	if c.MEEReadLatency.Count() != 1 || c.MEEReadLatency.Max() != 900 {
+		t.Error("mee-latency histogram not fed")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"shmgpu/internal/gpu"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
+	"shmgpu/internal/telemetry"
 	"shmgpu/internal/workload"
 )
 
@@ -82,6 +83,35 @@ func SchemeDescription(name string) (string, error) {
 	}
 	return s.Description, nil
 }
+
+// TelemetryConfig configures an observability Collector (sampling interval,
+// event capture).
+type TelemetryConfig = telemetry.Config
+
+// Collector aggregates probe events, histograms and the sampled timeline of
+// one instrumented run. See package internal/telemetry for the exporters.
+type Collector = telemetry.Collector
+
+// RunSummary is the neutral end-of-run summary the telemetry exporters
+// consume; build one with Summarize.
+type RunSummary = telemetry.RunSummary
+
+// Manifest identifies one run in every telemetry export.
+type Manifest = telemetry.Manifest
+
+// RunWithTelemetry simulates one workload under one design with the
+// observability layer attached: probe events, latency histograms and an
+// interval-sampled timeline accumulate in the returned Collector.
+func RunWithTelemetry(cfg Config, workloadName, schemeName string, tcfg TelemetryConfig) (Result, *Collector, error) {
+	sch, err := scheme.ByName(schemeName)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return experiments.RunInstrumented(cfg, workloadName, sch, tcfg)
+}
+
+// Summarize converts a Result into the exporter-facing RunSummary.
+func Summarize(res Result) RunSummary { return experiments.TelemetrySummary(res) }
 
 // Run simulates one workload under one secure-memory design.
 func Run(cfg Config, workloadName, schemeName string) (Result, error) {

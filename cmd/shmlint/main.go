@@ -1,0 +1,113 @@
+// Command shmlint is the repository's lint gate: it hosts the analyzer
+// suite in internal/analysis (nodeterminism, counterhygiene, probeguard,
+// unitcheck) behind two drivers.
+//
+// As a vettool, it speaks cmd/go's unitchecker protocol and is invoked per
+// package by the go command, which supplies type-checked inputs via export
+// data:
+//
+//	go build -o /tmp/shmlint ./cmd/shmlint
+//	go vet -vettool=/tmp/shmlint ./...
+//
+// Standalone, it loads the whole module from source and additionally runs
+// cross-package checks (counter ownership) that the per-package vet
+// protocol cannot express:
+//
+//	go run ./cmd/shmlint ./...
+//
+// Exit status is 0 when clean, 1 when any analyzer reported a finding, 2 on
+// usage or load errors. Individual analyzers can be disabled with
+// -<name>=false.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shmgpu/internal/analysis"
+	"shmgpu/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := suite.All()
+
+	// The go command probes its vettool twice before any analysis:
+	// `-V=full` for a version/build fingerprint (a cache key input), then
+	// `-flags` for the JSON list of flags it may forward.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		printVersion()
+		return 0
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		printFlags(analyzers)
+		return 0
+	}
+
+	fs := flag.NewFlagSet("shmlint", flag.ContinueOnError)
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(active, rest[0])
+	}
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shmlint [flags] <package patterns> | <vet.cfg>")
+		return 2
+	}
+	return runStandalone(active, rest)
+}
+
+// printVersion emits the `-V=full` line in the format cmd/go parses: at
+// least three fields, f[1] == "version", and a trailing buildID= field when
+// the version is "devel". Hashing our own executable makes the fingerprint
+// change whenever the suite is rebuilt, so vet results are never stale.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("shmlint version devel buildID=%s\n", id)
+}
+
+// printFlags emits the `-flags` JSON the go command uses to validate flags
+// it forwards to the tool.
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shmgpu/internal/analysis"
+	"shmgpu/internal/analysis/load"
+)
+
+// runStandalone analyzes package patterns by loading the enclosing module
+// from source. Unlike the per-package vet protocol, this mode sees the
+// whole tree at once, so analyzers' Finish hooks (cross-package checks)
+// run here.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shmlint: %v\n", err)
+		return 2
+	}
+	modulePath, err := load.ModuleInfo(moduleDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shmlint: reading module path: %v\n", err)
+		return 2
+	}
+	loader := load.New(modulePath, moduleDir)
+
+	paths, err := expandPatterns(loader, modulePath, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shmlint: %v\n", err)
+		return 2
+	}
+
+	var diags []namedDiag
+	results := map[string]map[string]any{}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shmlint: %v\n", err)
+			return 2
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "shmlint: %s: %v\n", path, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return 2
+		}
+		diags = append(diags, runAnalyzers(analyzers, loader.Fset, pkg.Files, pkg.Types, pkg.Info, results)...)
+	}
+
+	for _, a := range analyzers {
+		if a.Finish == nil || len(results[a.Name]) == 0 {
+			continue
+		}
+		a.Finish(&analysis.Finishing{
+			Results: results[a.Name],
+			Fset:    loader.Fset,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, namedDiag{analyzer: a.Name, Diagnostic: d})
+			},
+		})
+	}
+
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(loader.Fset, diags)
+	return 1
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves package patterns: "./..." (the whole module),
+// "./x/..." (a subtree), "./x" (one directory), or a plain import path.
+func expandPatterns(loader *load.Loader, modulePath string, patterns []string) ([]string, error) {
+	all, err := loader.Walk()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := importPathFor(modulePath, strings.TrimSuffix(pat, "/..."))
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+				}
+			}
+		default:
+			add(importPathFor(modulePath, pat))
+		}
+	}
+	return out, nil
+}
+
+func importPathFor(modulePath, pat string) string {
+	pat = strings.TrimPrefix(pat, "./")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "" || pat == "." {
+		return modulePath
+	}
+	if pat == modulePath || strings.HasPrefix(pat, modulePath+"/") {
+		return pat
+	}
+	return modulePath + "/" + pat
+}

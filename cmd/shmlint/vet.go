@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"shmgpu/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg for
+// its vettool (see cmd/go/internal/work's vetConfig). Fields this driver
+// does not consume are still declared so decoding stays strict-compatible.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet executes one per-package analysis under the go vet protocol:
+// parse cfg.GoFiles, type-check against the export data the go command
+// built for our dependencies, run the analyzers, and report diagnostics on
+// stderr as file:line:col lines. Exit 0 clean, 1 with findings.
+func runVet(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shmlint: reading %s: %v\n", cfgPath, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shmlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The go command persists per-package analysis facts in "vetx" files.
+	// This suite exports none, but the file must exist for the result to be
+	// cached, and fact-only invocations (VetxOnly) must do nothing else.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "shmlint: writing vetx: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "shmlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the export data (.a files) listed in
+	// cfg.PackageFile, after canonicalizing the as-written import path via
+	// cfg.ImportMap — exactly how cmd/vet's unitchecker wires its importer.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tcfg := types.Config{
+		Importer:  compilerImporter,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	// Test variants carry a bracketed suffix ("pkg [pkg.test]") that must
+	// not leak into the package path the analyzers see.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	pkg, err := tcfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "shmlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info, nil)
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(fset, diags)
+	return 1
+}
+
+type namedDiag struct {
+	analyzer string
+	analysis.Diagnostic
+}
+
+// runAnalyzers applies each analyzer to one package. When results is
+// non-nil, per-package results are stashed there (keyed by package path)
+// for a later Finish pass.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, results map[string]map[string]any) []namedDiag {
+	var diags []namedDiag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, namedDiag{analyzer: a.Name, Diagnostic: d})
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shmlint: analyzer %s: %v\n", a.Name, err)
+			continue
+		}
+		if res != nil && results != nil {
+			if results[a.Name] == nil {
+				results[a.Name] = map[string]any{}
+			}
+			results[a.Name][pkg.Path()] = res
+		}
+	}
+	return diags
+}
+
+func printDiags(fset *token.FileSet, diags []namedDiag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", p.Filename, p.Line, p.Column, d.Message, d.analyzer)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"shmgpu"
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/stats"
@@ -48,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsOut     = fs.String("metrics-out", "", "write a Prometheus text-format metrics dump")
 		jsonlOut       = fs.String("jsonl-out", "", "write a JSONL event/sample trace")
 		sampleInterval = fs.Uint64("sample-interval", 5000, "timeline sampling period in cycles (0 disables the timeline)")
+		seed           = fs.Int64("seed", 0, "workload seed for the warp programs' random streams (0 = the benchmark's built-in seed)")
+		check          = fs.Bool("check", false, "enable the runtime invariant sanitizer (model self-checks; slower)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: shmsim [flags]\n\nRuns one workload under one secure-memory design.\n\nFlags:\n")
@@ -79,6 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
 		return 2
 	}
+	if *check {
+		invariant.SetEnabled(true)
+	}
+	effSeed, err := shmgpu.EffectiveSeed(*wl, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		return 2
+	}
 
 	instrument := *traceOut != "" || *metricsOut != "" || *jsonlOut != "" || *jsonOut
 	tcfg := telemetry.Config{
@@ -87,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	started := time.Now()
-	base, err := shmgpu.Run(cfg, *wl, "Baseline")
+	base, err := shmgpu.RunSeeded(cfg, *wl, "Baseline", *seed)
 	if err != nil {
 		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
 		return 2
@@ -100,9 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		schObj, _ := scheme.ByName(*sch)
 		res = shmgpu.NewRunner(cfg, []string{*wl}).RunWithAccuracy(*wl, schObj)
 	case instrument:
-		res, col, err = shmgpu.RunWithTelemetry(cfg, *wl, *sch, tcfg)
+		res, col, err = shmgpu.RunWithTelemetrySeeded(cfg, *wl, *sch, *seed, tcfg)
 	default:
-		res, err = shmgpu.Run(cfg, *wl, *sch)
+		res, err = shmgpu.RunSeeded(cfg, *wl, *sch, *seed)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
@@ -121,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Partitions:     cfg.Partitions,
 		MaxCycles:      cfg.MaxCycles,
 		SampleInterval: *sampleInterval,
+		Seed:           effSeed,
 		GitRev:         telemetry.GitRevision("."),
 		Started:        started.UTC().Format(time.RFC3339),
 		WallTime:       wall.Round(time.Millisecond).String(),

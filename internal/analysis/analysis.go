@@ -1,0 +1,168 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// go/analysis analyzer model (golang.org/x/tools/go/analysis) sufficient to
+// host this repository's lint suite. It exists because the simulator's
+// correctness rules — determinism, counter hygiene, probe guarding, unit
+// discipline — are mechanical properties of the source tree that belong in
+// a vet-style gate, and the canonical framework is an external module this
+// repository does not vendor.
+//
+// The model is the familiar one: an Analyzer owns a Run function invoked
+// once per package with a Pass carrying the parsed files, type information,
+// and a Report sink. Two extensions cover this repo's needs:
+//
+//   - Run may return a per-package result (any JSON-able value), and an
+//     Analyzer may declare a Finish hook. In a whole-tree standalone run
+//     (shmlint ./...), Finish is called once after every package's Run with
+//     all results, enabling cross-package checks such as counter-ownership.
+//     Under `go vet -vettool` the driver is invoked per package and Finish
+//     never runs; per-package checks still apply.
+//
+//   - Source lines can silence a specific check with a trailing
+//     `//shmlint:allow <check>` comment; the annotation is an explicit,
+//     greppable justification marker. Pass.Allowed consults it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier: lower-case, no spaces. It doubles
+	// as the vettool flag name and the //shmlint:allow annotation key.
+	Name string
+	// Doc is the one-paragraph description shown by `shmlint help`.
+	Doc string
+	// Run analyzes one package and reports findings via pass.Report. The
+	// returned value is collected for Finish in whole-tree runs; analyzers
+	// without cross-package state return nil.
+	Run func(pass *Pass) (any, error)
+	// Finish, if non-nil, runs once after all packages in a standalone
+	// whole-tree invocation, receiving every package's Run result keyed by
+	// import path. It is skipped under go vet (per-package invocation).
+	Finish func(f *Finishing)
+}
+
+// Pass carries one package's analysis inputs to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// allowLines caches the //shmlint:allow annotations per file.
+	allowLines map[*ast.File]map[int][]string
+}
+
+// Finishing carries all per-package results to an Analyzer's Finish hook.
+type Finishing struct {
+	// Results maps package import path to the value its Run returned.
+	// Packages whose Run returned nil are omitted.
+	Results map[string]any
+	// Fset is the file set shared by every analyzed package, so positions
+	// recorded inside results resolve correctly.
+	Fset *token.FileSet
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (f *Finishing) Reportf(pos token.Pos, format string, args ...any) {
+	f.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+var allowRE = regexp.MustCompile(`//shmlint:allow\s+([a-z0-9_,-]+)`)
+
+// Allowed reports whether the line containing pos carries a
+// `//shmlint:allow <check>` annotation for the named check. The annotation
+// must appear in a comment on the same source line as the flagged node.
+func (p *Pass) Allowed(check string, pos token.Pos) bool {
+	file := p.fileFor(pos)
+	if file == nil {
+		return false
+	}
+	if p.allowLines == nil {
+		p.allowLines = map[*ast.File]map[int][]string{}
+	}
+	lines, ok := p.allowLines[file]
+	if !ok {
+		lines = map[int][]string{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				ln := p.Fset.Position(c.Pos()).Line
+				for _, name := range strings.Split(m[1], ",") {
+					lines[ln] = append(lines[ln], strings.TrimSpace(name))
+				}
+			}
+		}
+		p.allowLines[file] = lines
+	}
+	ln := p.Fset.Position(pos).Line
+	for _, name := range lines[ln] {
+		if name == check {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// NamedType reports whether t (after unwrapping pointers) is the named type
+// pkgName.typeName, matching by package *name* rather than full import path
+// so test fixtures with short paths behave like the real tree.
+func NamedType(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// Inspect walks every file in the pass in source order, calling fn for each
+// node; fn returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,24 @@
+package counterhygiene_test
+
+import (
+	"testing"
+
+	"shmgpu/internal/analysis/analysistest"
+	"shmgpu/internal/analysis/counterhygiene"
+)
+
+func TestCounterhygiene(t *testing.T) {
+	tests := []struct {
+		name string
+		pkgs []string
+	}{
+		{name: "naming rules", pkgs: []string{"metrics"}},
+		{name: "cross-package ownership", pkgs: []string{"owner_a", "owner_b"}},
+		{name: "registry-defining package exempt", pkgs: []string{"stats"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", counterhygiene.Analyzer, tt.pkgs...)
+		})
+	}
+}

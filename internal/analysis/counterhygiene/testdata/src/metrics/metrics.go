@@ -1,0 +1,30 @@
+// Package metrics exercises the per-package counterhygiene rules: names
+// must be statically known and lowercase_snake.
+package metrics
+
+import (
+	"fmt"
+
+	"stats"
+)
+
+const wellKnown = "requests_total"
+
+var reg stats.Registry
+
+func goodWrites(i int) {
+	reg.Inc("cache_hits")
+	reg.Add("blocks_served", 4)
+	reg.Inc(wellKnown)
+	reg.Inc(fmt.Sprintf("det_timeout_bucket_%d", i))
+}
+
+func badCharset() {
+	reg.Inc("CacheHits")                 // want `counter name "CacheHits" is not lowercase_snake`
+	reg.Add("hit-rate", 1)               // want `counter name "hit-rate" is not lowercase_snake`
+	reg.Inc(fmt.Sprintf("Bucket_%d", 3)) // want `counter name "Bucket_0" is not lowercase_snake`
+}
+
+func dynamicName(name string) {
+	reg.Inc(name) // want `counter name must be a constant string or Sprintf of one`
+}

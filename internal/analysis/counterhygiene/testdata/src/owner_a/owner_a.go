@@ -1,0 +1,12 @@
+// Package owner_a owns the shared_counter name (lexicographically first
+// writer); its writes are accepted.
+package owner_a
+
+import "stats"
+
+var reg stats.Registry
+
+func record() {
+	reg.Inc("shared_counter")
+	reg.Inc("owner_a_private")
+}

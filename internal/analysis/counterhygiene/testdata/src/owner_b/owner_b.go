@@ -1,0 +1,12 @@
+// Package owner_b also writes shared_counter, violating single-package
+// ownership; its private counter is fine.
+package owner_b
+
+import "stats"
+
+var reg stats.Registry
+
+func record() {
+	reg.Inc("shared_counter") // want `counter "shared_counter" is written by package owner_b but also by owner_a`
+	reg.Inc("owner_b_private")
+}

@@ -1,0 +1,19 @@
+// Package stats is a fixture mirror of the real stats.Registry API surface
+// (the analyzer matches the type by package name + type name).
+package stats
+
+// Registry is a named counter bag.
+type Registry struct {
+	counters map[string]uint64
+}
+
+// Add increments counter name by n.
+func (r *Registry) Add(name string, n uint64) {
+	if r.counters == nil {
+		r.counters = make(map[string]uint64)
+	}
+	r.counters[name] += n
+}
+
+// Inc increments counter name by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }

@@ -1,0 +1,60 @@
+// Package gpu is a fixture standing in for a deterministic-core package
+// (its import path ends in internal/gpu, putting it in the restricted set).
+package gpu
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `call to time\.Now in deterministic core`
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `call to time\.Since in deterministic core`
+}
+
+func globalDraw() int {
+	return rand.Intn(8) // want `call to global-source rand\.Intn in deterministic core`
+}
+
+// seededDraw is the accepted pattern: an explicit source from a run seed.
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+func sumMap(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in deterministic core`
+		total += v
+	}
+	return total
+}
+
+// sumMapAllowed is the accepted pattern: the annotation states the loop is
+// order-insensitive.
+func sumMapAllowed(m map[int]int) int {
+	total := 0
+	for _, v := range m { //shmlint:allow maprange — commutative sum
+		total += v
+	}
+	return total
+}
+
+// sumSlice ranges over a slice, which is ordered and always fine.
+func sumSlice(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func spawn(done chan struct{}) {
+	go func() { // want `goroutine spawned in deterministic core`
+		close(done)
+	}()
+}

@@ -1,0 +1,23 @@
+package probeguard_test
+
+import (
+	"testing"
+
+	"shmgpu/internal/analysis/analysistest"
+	"shmgpu/internal/analysis/probeguard"
+)
+
+func TestProbeguard(t *testing.T) {
+	tests := []struct {
+		name string
+		pkgs []string
+	}{
+		{name: "guard idioms", pkgs: []string{"sim"}},
+		{name: "telemetry package itself is exempt", pkgs: []string{"telemetry"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", probeguard.Analyzer, tt.pkgs...)
+		})
+	}
+}

@@ -1,0 +1,14 @@
+// Package telemetry is a fixture mirror of the real probe contract: Probe
+// is an interface whose fields are nil unless instrumentation is on.
+package telemetry
+
+// Event is one telemetry record.
+type Event struct {
+	Cycle uint64
+	Kind  uint8
+}
+
+// Probe observes events.
+type Probe interface {
+	Emit(e Event)
+}

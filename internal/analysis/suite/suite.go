@@ -1,0 +1,22 @@
+// Package suite enumerates the repository's lint analyzers in the order
+// they run. cmd/shmlint and any future drivers consume this list, so adding
+// an analyzer here is all it takes to put it in the gate.
+package suite
+
+import (
+	"shmgpu/internal/analysis"
+	"shmgpu/internal/analysis/counterhygiene"
+	"shmgpu/internal/analysis/nodeterminism"
+	"shmgpu/internal/analysis/probeguard"
+	"shmgpu/internal/analysis/unitcheck"
+)
+
+// All returns every analyzer in the shmlint suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterminism.Analyzer,
+		counterhygiene.Analyzer,
+		probeguard.Analyzer,
+		unitcheck.Analyzer,
+	}
+}

@@ -1,0 +1,45 @@
+// Package units exercises the unit-suffix arithmetic rules.
+package units
+
+const sectorBytes = 32
+
+type cfg struct {
+	rowBytes   uint64
+	casCycles  uint64
+	rowCycles  uint64
+	numBlocks  uint64
+	burstBytes uint64
+}
+
+func latency(c cfg) uint64 {
+	return c.casCycles + c.rowCycles // same unit: fine
+}
+
+func scale(c cfg) uint64 {
+	return c.rowBytes * 4 // unit op unitless literal: fine
+}
+
+func mixed(c cfg, waitCycles uint64) uint64 {
+	return waitCycles + c.rowBytes // want `arithmetic mixes units: waitCycles \(Cycles\) \+ rowBytes \(Bytes\)`
+}
+
+func mixedBlocks(c cfg) uint64 {
+	return c.numBlocks * c.burstBytes // want `arithmetic mixes units: numBlocks \(Blocks\) \* burstBytes \(Bytes\)`
+}
+
+// converted states the unit change explicitly: any call (a conversion or a
+// named converter) neutralizes the operand's unit.
+func converted(c cfg) uint64 {
+	return bytesToBlocks(c.rowBytes) + c.numBlocks
+}
+
+func convertedCast(c cfg, waitCycles uint64) uint64 {
+	return waitCycles + uint64(c.rowBytes)
+}
+
+func bytesToBlocks(b uint64) uint64 { return b / 128 }
+
+// annotated opts out of the check with a written justification.
+func annotated(c cfg, waitCycles uint64) uint64 {
+	return waitCycles + c.rowBytes //shmlint:allow unitmix — fixture justification
+}

@@ -1,0 +1,22 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"shmgpu/internal/analysis/analysistest"
+	"shmgpu/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	tests := []struct {
+		name string
+		pkgs []string
+	}{
+		{name: "mixed and converted arithmetic", pkgs: []string{"units"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", unitcheck.Analyzer, tt.pkgs...)
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"shmgpu/internal/cryptoengine"
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/metadata"
 )
@@ -199,4 +200,15 @@ func (t *Tree) Update(cb uint64) {
 		h = t.eng.NodeHash(nodeAddr, t.partition, node[:])
 	}
 	t.root = h
+	// Node-consistency sanitizer: after propagating a counter-block write,
+	// the freshly written path must verify against the new root. A failure
+	// here means Update and Verify disagree about the tree shape — a
+	// silent-corruption bug that would otherwise only surface as a
+	// spurious (or missed) integrity violation much later.
+	if invariant.Enabled() {
+		if err := t.Verify(cb); err != nil {
+			invariant.Failf("bmt-consistency", fmt.Sprintf("bmt[p%d]", t.partition), 0,
+				"post-update verify of counter block %d failed: %v", cb, err)
+		}
+	}
 }

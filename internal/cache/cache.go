@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/stats"
 )
@@ -216,6 +217,10 @@ func (c *Cache) Read(addr memdef.Addr) Outcome {
 		return Blocked
 	}
 	c.mshrs[block] = &mshr{blockAddr: block, pending: bit}
+	if invariant.Enabled() && len(c.mshrs) > c.mshrCap {
+		invariant.Failf("mshr-occupancy", "cache "+c.cfg.Name, 0,
+			"%d MSHRs allocated, capacity %d (block %#x)", len(c.mshrs), c.mshrCap, uint64(block))
+	}
 	c.Stats.Misses++
 	return MissNew
 }
@@ -332,11 +337,18 @@ func (c *Cache) CleanInvalidate(addr memdef.Addr) {
 
 // FlushAll writes back every dirty sector and invalidates the whole cache.
 // Used at kernel boundaries. Outstanding MSHRs must be drained by the caller
-// before flushing; FlushAll panics if any remain, as flushing under
-// outstanding misses is a simulator bug.
+// before flushing; flushing under outstanding misses is a cycle-model bug
+// (a leaked fetch), reported as an invariant violation with the offending
+// block addresses.
 func (c *Cache) FlushAll() []Writeback {
 	if len(c.mshrs) != 0 {
-		panic(fmt.Sprintf("cache %s: FlushAll with %d outstanding MSHRs", c.cfg.Name, len(c.mshrs)))
+		blocks := make([]memdef.Addr, 0, len(c.mshrs))
+		for b := range c.mshrs { //shmlint:allow maprange — reduced to an order-insensitive min below
+			blocks = append(blocks, b)
+		}
+		invariant.Failf("mshr-drain", "cache "+c.cfg.Name, 0,
+			"FlushAll with %d outstanding MSHRs (first leaked block %#x)",
+			len(c.mshrs), uint64(minAddr(blocks)))
 	}
 	var wbs []Writeback
 	for si := range c.sets {
@@ -353,6 +365,18 @@ func (c *Cache) FlushAll() []Writeback {
 		}
 	}
 	return wbs
+}
+
+// minAddr returns the smallest address in s (s must be non-empty); used to
+// report a deterministic representative of a leaked MSHR set.
+func minAddr(s []memdef.Addr) memdef.Addr {
+	m := s[0]
+	for _, a := range s[1:] {
+		if a < m {
+			m = a
+		}
+	}
+	return m
 }
 
 // DirtySectorCount returns the number of dirty sectors currently held,

@@ -1,9 +1,23 @@
 package detectors
 
 import (
+	"sort"
+
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/stats"
 )
+
+// sortedKeys returns m's keys in ascending order so settlement loops iterate
+// deterministically (the tallies are commutative sums, but fixed order keeps
+// any future non-commutative scoring — and debugging output — stable).
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m { //shmlint:allow maprange — keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // ReadOnlyAccuracy scores the read-only predictor against offline-profiling
 // ground truth (paper Fig. 10 methodology: every prediction for every L2
@@ -53,7 +67,8 @@ func (a *ReadOnlyAccuracy) Observe(local memdef.Addr, write bool) {
 // returns the Fig. 10 breakdown.
 func (a *ReadOnlyAccuracy) Finalize() stats.PredictorStats {
 	var ps stats.PredictorStats
-	for _, t := range a.regions {
+	for _, region := range sortedKeys(a.regions) {
+		t := a.regions[region]
 		truthRO := 0
 		if !t.written {
 			truthRO = 1
@@ -184,8 +199,8 @@ func (s *StreamingAccuracy) settle(chunk uint64, t *streamChunkTally) {
 // breakdown. Windows shorter than K settle against the blocks seen so far,
 // matching the MAT's timeout behaviour.
 func (s *StreamingAccuracy) Finalize() stats.PredictorStats {
-	for chunk, t := range s.chunks {
-		if t.accesses > 0 {
+	for _, chunk := range sortedKeys(s.chunks) {
+		if t := s.chunks[chunk]; t.accesses > 0 {
 			s.settle(chunk, t)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/stats"
 	"shmgpu/internal/telemetry"
@@ -132,6 +133,12 @@ type Channel struct {
 	// (service latency). part identifies this channel in probe events.
 	probe telemetry.Probe
 	part  int16
+
+	// enqueued counts accepted requests for the request-conservation
+	// invariant; lastTick enforces clock monotonicity. Both are maintained
+	// only while invariant checking is enabled.
+	enqueued uint64
+	lastTick uint64
 }
 
 // SetProbe installs the telemetry probe (nil to disable) and the channel's
@@ -176,6 +183,14 @@ func (ch *Channel) Enqueue(r Req, now uint64) bool {
 	slicesPerRow := uint64(ch.cfg.RowBytes / memdef.PartitionStride)
 	row := (slice / uint64(ch.cfg.Banks)) / slicesPerRow
 	ch.queue = append(ch.queue, pendingReq{Req: r, arrival: now, bank: b, row: row})
+	if invariant.Enabled() {
+		ch.enqueued++
+		if len(ch.queue) > ch.cfg.QueueDepth {
+			invariant.Failf("queue-occupancy", fmt.Sprintf("dram[%d]", ch.part), now,
+				"queue holds %d requests, capacity %d (local %#x token %d)",
+				len(ch.queue), ch.cfg.QueueDepth, uint64(r.Local), r.Token)
+		}
+	}
 	if ch.probe != nil {
 		ch.probe.Emit(telemetry.Event{
 			Cycle: now, Kind: telemetry.EvDRAMEnqueue, Part: ch.part,
@@ -190,6 +205,13 @@ func (ch *Channel) Enqueue(r Req, now uint64) bool {
 // transfer completed at or before now. Call once per cycle with a
 // monotonically non-decreasing now.
 func (ch *Channel) Tick(now uint64) []Req {
+	if invariant.Enabled() {
+		if now < ch.lastTick {
+			invariant.Failf("clock-monotonic", fmt.Sprintf("dram[%d]", ch.part), now,
+				"Tick clock ran backwards: now=%d < last=%d", now, ch.lastTick)
+		}
+		ch.lastTick = now
+	}
 	// Issue as long as a request can start this cycle. Several issues per
 	// cycle are allowed; the bus reservation serializes actual transfers.
 	for len(ch.queue) > 0 {
@@ -281,6 +303,20 @@ func (ch *Channel) pickNext(now uint64) int {
 
 // Drained reports whether no requests are queued or in flight.
 func (ch *Channel) Drained() bool { return len(ch.queue) == 0 && len(ch.completed) == 0 }
+
+// CheckConserved verifies the request-conservation invariant at a drain
+// point: every request accepted by Enqueue must have been returned by Tick.
+// Callers gate on invariant.Enabled() (the counters only accumulate while
+// checking is on, so the check is only coherent when enabled for the whole
+// run).
+func (ch *Channel) CheckConserved(component string, now uint64) {
+	served := ch.ReadsServed + ch.WritesServed
+	if ch.enqueued != served || !ch.Drained() {
+		invariant.Failf("request-conservation", component, now,
+			"%d enqueued, %d served, %d queued, %d in flight",
+			ch.enqueued, served, len(ch.queue), len(ch.completed))
+	}
+}
 
 // RowHitRate returns the fraction of issued requests that hit an open row.
 func (ch *Channel) RowHitRate() float64 {

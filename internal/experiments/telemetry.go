@@ -39,7 +39,13 @@ func TelemetrySummary(res gpu.Result) telemetry.RunSummary {
 // Instrumented runs are never cached: the collector belongs to exactly one
 // run.
 func RunInstrumented(cfg gpu.Config, wl string, sch scheme.Scheme, tcfg telemetry.Config) (gpu.Result, *telemetry.Collector, error) {
-	bench, err := workload.ByName(wl)
+	return RunInstrumentedSeeded(cfg, wl, 0, sch, tcfg)
+}
+
+// RunInstrumentedSeeded is RunInstrumented with an explicit workload seed
+// (0 keeps the benchmark's built-in seed).
+func RunInstrumentedSeeded(cfg gpu.Config, wl string, seed int64, sch scheme.Scheme, tcfg telemetry.Config) (gpu.Result, *telemetry.Collector, error) {
+	bench, err := workload.ByNameSeeded(wl, seed)
 	if err != nil {
 		return gpu.Result{}, nil, err
 	}

@@ -1,7 +1,10 @@
 package gpu
 
 import (
+	"fmt"
+
 	"shmgpu/internal/cache"
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/telemetry"
 )
@@ -235,7 +238,11 @@ func (s *SM) warpIndex(w *warpState) int {
 			return i
 		}
 	}
-	panic("gpu: warp not resident")
+	// A request from a warp that is not resident means the scheduler lost
+	// track of warp state mid-kernel — a model invariant, not API misuse.
+	invariant.Failf("warp-residency", fmt.Sprintf("sm[%d]", s.id), 0,
+		"memory request from a warp not resident among %d warps", len(s.warps))
+	return -1
 }
 
 // onFill delivers a sector response from L2, waking waiting warps.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shmgpu/internal/dram"
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/secmem"
 	"shmgpu/internal/stats"
@@ -302,16 +303,53 @@ func (s *System) runKernel() bool {
 }
 
 // drainLoop ticks until every queue and in-flight request empties (used at
-// kernel boundaries after flushes). Bounded as a deadlock backstop.
+// kernel boundaries after flushes). Bounded as a deadlock backstop: failing
+// to converge means a request leaked somewhere in the memory system, which
+// is reported as an invariant violation with the stuck occupancy, and the
+// per-channel request-conservation invariant is checked on every successful
+// drain.
 func (s *System) drainLoop() {
 	for i := 0; i < 2_000_000; i++ {
 		if s.drained() {
+			if invariant.Enabled() {
+				for p, ch := range s.channels {
+					ch.CheckConserved(fmt.Sprintf("dram[%d]", p), s.cycle)
+				}
+			}
 			return
 		}
 		s.tickOnce(s.cycle)
 		s.cycle++
 	}
-	panic("gpu: drainLoop did not converge — memory system deadlock")
+	invariant.Failf("drain-convergence", "system", s.cycle,
+		"memory system did not drain after 2M cycles: %s", s.pendingSummary())
+}
+
+// pendingSummary renders the stuck occupancy for drain-convergence reports:
+// which queues still hold work and where requests are in flight.
+func (s *System) pendingSummary() string {
+	var xbar, resp, l2, meeBusy, dramPend int
+	for p := range s.toPart {
+		xbar += len(s.toPart[p])
+	}
+	resp = len(s.toSM)
+	for p := range s.l2 {
+		for _, b := range s.l2[p] {
+			if !b.drained() {
+				l2++
+			}
+		}
+	}
+	for _, mee := range s.mees {
+		if !mee.Idle() {
+			meeBusy++
+		}
+	}
+	for _, ch := range s.channels {
+		dramPend += ch.Pending()
+	}
+	return fmt.Sprintf("%d xbar entries, %d responses, %d busy L2 banks, %d busy MEEs, %d pending DRAM requests",
+		xbar, resp, l2, meeBusy, dramPend)
 }
 
 func (s *System) tickOnce(now uint64) {

@@ -1,0 +1,7 @@
+//go:build !shmcheck
+
+package invariant
+
+// defaultEnabled is false in normal builds: the sanitizer costs one branch
+// per check site and performs no detection work.
+const defaultEnabled = false

@@ -1,0 +1,8 @@
+//go:build shmcheck
+
+package invariant
+
+// defaultEnabled is true under the shmcheck build tag, so
+// `go test -tags shmcheck ./...` runs the whole suite with the sanitizer
+// armed without touching any call sites.
+const defaultEnabled = true

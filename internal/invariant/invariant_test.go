@@ -1,0 +1,83 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// record installs a capturing handler for the duration of the test and
+// returns the capture slice.
+func record(t *testing.T) *[]*Violation {
+	t.Helper()
+	var got []*Violation
+	prev := SetHandler(func(v *Violation) { got = append(got, v) })
+	t.Cleanup(func() { SetHandler(prev) })
+	return &got
+}
+
+func TestFailfReportsFullContext(t *testing.T) {
+	got := record(t)
+	Failf("request-conservation", "dram[3]", 12345, "leaked %d of %d requests", 2, 700)
+	if len(*got) != 1 {
+		t.Fatalf("got %d violations, want 1", len(*got))
+	}
+	v := (*got)[0]
+	if v.Check != "request-conservation" || v.Component != "dram[3]" || v.Cycle != 12345 {
+		t.Errorf("violation context = %+v", v)
+	}
+	msg := v.Error()
+	for _, want := range []string{"request-conservation", "dram[3]", "cycle=12345", "leaked 2 of 700 requests"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestFailfReportsEvenWhenDisabled(t *testing.T) {
+	got := record(t)
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+	Failf("drain-convergence", "system", 9, "stuck")
+	if len(*got) != 1 {
+		t.Fatalf("Failf with checking disabled reported %d violations, want 1 (reporting is never gated)", len(*got))
+	}
+}
+
+func TestDefaultHandlerPanicsWithViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *Violation", r, r)
+		}
+		if v.Check != "clock-monotonic" {
+			t.Errorf("Check = %q", v.Check)
+		}
+	}()
+	Failf("clock-monotonic", "dram[0]", 10, "now=9 < last=10")
+}
+
+func TestSetEnabledToggles(t *testing.T) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("SetEnabled(true) did not enable")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("SetEnabled(false) did not disable")
+	}
+}
+
+func TestSetHandlerNilRestoresPanic(t *testing.T) {
+	SetHandler(func(*Violation) {})
+	SetHandler(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("default handler after SetHandler(nil) did not panic")
+		}
+	}()
+	Failf("counter-overflow", "registry", 0, "wrap")
+}

@@ -7,6 +7,7 @@ import (
 	"shmgpu/internal/cache"
 	"shmgpu/internal/detectors"
 	"shmgpu/internal/dram"
+	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/metadata"
 	"shmgpu/internal/stats"
@@ -357,6 +358,10 @@ func (m *MEE) Idle() bool {
 
 // Tick advances the MEE one cycle and returns completed read responses.
 func (m *MEE) Tick(now uint64) []memdef.Request {
+	if invariant.Enabled() && now < m.lastTick {
+		invariant.Failf("clock-monotonic", fmt.Sprintf("mee[%d]", m.cfg.Partition), now,
+			"Tick clock ran backwards: now=%d < last=%d", now, m.lastTick)
+	}
 	m.lastTick = now
 	// 1. Drain the outgoing buffer into DRAM channels.
 	for len(m.outgoing) > 0 {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"shmgpu/internal/invariant"
 )
 
 // TrafficClass labels a DRAM transfer with the purpose of the bytes moved,
@@ -224,10 +226,18 @@ type Registry struct {
 	counters map[string]uint64
 }
 
-// Add increments counter name by n.
+// Add increments counter name by n, reporting an invariant violation on
+// uint64 wraparound when the sanitizer is enabled (a wrapped counter
+// silently corrupts every derived ratio).
 func (r *Registry) Add(name string, n uint64) {
 	if r.counters == nil {
 		r.counters = make(map[string]uint64)
+	}
+	if invariant.Enabled() {
+		if cur := r.counters[name]; cur > ^uint64(0)-n {
+			invariant.Failf("counter-overflow", "registry", 0,
+				"counter %s: %d + %d wraps uint64", name, cur, n)
+		}
 	}
 	r.counters[name] += n
 }

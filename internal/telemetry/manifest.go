@@ -27,6 +27,11 @@ type Manifest struct {
 	MaxCycles  uint64 `json:"max_cycles"`
 	// SampleInterval is the timeline sampling period (0 = disabled).
 	SampleInterval uint64 `json:"sample_interval"`
+	// Seed is the workload seed the run's warp programs derived their
+	// random streams from; together with (Workload, Scheme) it pins the
+	// run's entire behaviour, so reruns with the same manifest reproduce
+	// byte-identical counters and traces.
+	Seed int64 `json:"seed"`
 	// GitRev is the source revision the binary was built from ("" when
 	// unknown).
 	GitRev string `json:"git_rev,omitempty"`

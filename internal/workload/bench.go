@@ -59,13 +59,25 @@ func Names() []string {
 	return names
 }
 
-// ByName builds one benchmark by name.
+// ByName builds one benchmark by name, with its built-in seed.
 func ByName(name string) (*Bench, error) {
+	return ByNameSeeded(name, 0)
+}
+
+// ByNameSeeded builds one benchmark by name with an explicit seed for its
+// warp programs' random streams. Seed 0 keeps the benchmark's built-in
+// seed (the published Table VII characterization); any other value rebases
+// the streams, and callers must record it in the run manifest.
+func ByNameSeeded(name string, seed int64) (*Bench, error) {
 	ctor, ok := Registry()[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
-	return ctor(), nil
+	b := ctor()
+	if seed != 0 {
+		b.Reseed(seed)
+	}
+	return b, nil
 }
 
 // MemoryIntensive returns the 15 memory-intensive workloads used for the

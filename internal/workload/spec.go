@@ -238,6 +238,14 @@ func MustNew(spec Spec) *Bench {
 // Name implements gpu.Workload.
 func (b *Bench) Name() string { return b.spec.BenchName }
 
+// Seed returns the seed every warp program's random stream derives from.
+func (b *Bench) Seed() int64 { return b.spec.Seed }
+
+// Reseed overrides the benchmark's built-in seed, rebasing every warp
+// program's random stream. Call before the run starts; the run manifest
+// must record the value so the run is reproducible.
+func (b *Bench) Reseed(seed int64) { b.spec.Seed = seed }
+
 // Kernels implements gpu.Workload.
 func (b *Bench) Kernels() int { return b.spec.KernelCount }
 

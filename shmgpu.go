@@ -103,11 +103,19 @@ type Manifest = telemetry.Manifest
 // observability layer attached: probe events, latency histograms and an
 // interval-sampled timeline accumulate in the returned Collector.
 func RunWithTelemetry(cfg Config, workloadName, schemeName string, tcfg TelemetryConfig) (Result, *Collector, error) {
+	return RunWithTelemetrySeeded(cfg, workloadName, schemeName, 0, tcfg)
+}
+
+// RunWithTelemetrySeeded is RunWithTelemetry with an explicit workload
+// seed. Seed 0 keeps the benchmark's built-in seed; any other value
+// rebases the warp programs' random streams. Runs with identical
+// (config, workload, scheme, seed) are bit-for-bit reproducible.
+func RunWithTelemetrySeeded(cfg Config, workloadName, schemeName string, seed int64, tcfg TelemetryConfig) (Result, *Collector, error) {
 	sch, err := scheme.ByName(schemeName)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return experiments.RunInstrumented(cfg, workloadName, sch, tcfg)
+	return experiments.RunInstrumentedSeeded(cfg, workloadName, seed, sch, tcfg)
 }
 
 // Summarize converts a Result into the exporter-facing RunSummary.
@@ -115,7 +123,13 @@ func Summarize(res Result) RunSummary { return experiments.TelemetrySummary(res)
 
 // Run simulates one workload under one secure-memory design.
 func Run(cfg Config, workloadName, schemeName string) (Result, error) {
-	bench, err := workload.ByName(workloadName)
+	return RunSeeded(cfg, workloadName, schemeName, 0)
+}
+
+// RunSeeded is Run with an explicit workload seed (0 keeps the
+// benchmark's built-in seed).
+func RunSeeded(cfg Config, workloadName, schemeName string, seed int64) (Result, error) {
+	bench, err := workload.ByNameSeeded(workloadName, seed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -126,6 +140,17 @@ func Run(cfg Config, workloadName, schemeName string) (Result, error) {
 	res := gpu.NewSystem(cfg, sch.Options).Run(bench)
 	res.Scheme = sch.Name
 	return res, nil
+}
+
+// EffectiveSeed resolves the seed a run with the given workload and seed
+// argument will actually use (the benchmark's built-in seed when seed is
+// 0), so callers can record it in the run manifest.
+func EffectiveSeed(workloadName string, seed int64) (int64, error) {
+	bench, err := workload.ByNameSeeded(workloadName, seed)
+	if err != nil {
+		return 0, err
+	}
+	return bench.Seed(), nil
 }
 
 // Runner caches simulation results across figure generators; it is the

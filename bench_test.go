@@ -100,8 +100,24 @@ func BenchmarkSummary_Headline(b *testing.B) { benchFigure(b, "summary") }
 // BenchmarkSingleRun measures the cost of one full workload simulation
 // (the unit everything above is built from).
 func BenchmarkSingleRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(QuickConfig(), "atax", "SHM"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleRunEveryCycle is BenchmarkSingleRun with event-horizon
+// cycle skipping disabled: the A/B pair quantifies how much the fast-forward
+// path buys (the equivalence tests in fastforward_test.go prove it changes
+// nothing else).
+func BenchmarkSingleRunEveryCycle(b *testing.B) {
+	b.ReportAllocs()
+	cfg := QuickConfig()
+	cfg.DisableFastForward = true
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, "atax", "SHM"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,8 +13,18 @@
 //	paperbench -json                # tables as JSON instead of text
 //	paperbench -metrics-out m/      # per-run Prometheus dumps
 //	paperbench -trace-out t/        # per-run Chrome traces
+//	paperbench -quick -bench-out BENCH.json        # measure the sweep
+//	paperbench -quick -bench-out BENCH.json -bench-compare BENCH_3.json
 //
-// Exit codes: 0 on success, 1 on output errors, 2 on usage errors.
+// The bench mode runs the Fig. 12 scheme set over the workload list
+// serially, records wall time and allocation counts per (workload, scheme)
+// cell plus the total sweep wall-clock, and writes a perf.Baseline JSON.
+// With -bench-compare it then diffs against a committed baseline:
+// allocs/op is compared on every run (it is deterministic), ns/op only
+// with -bench-time (wall time is machine-dependent).
+//
+// Exit codes: 0 on success, 1 on output errors, 2 on usage errors, 3 on
+// benchmark regressions.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 
 	"shmgpu/internal/experiments"
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/perf"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/telemetry"
@@ -51,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsOut     = fs.String("metrics-out", "", "directory for per-run Prometheus metrics dumps")
 		traceOut       = fs.String("trace-out", "", "directory for per-run Chrome trace-event JSON files")
 		sampleInterval = fs.Uint64("sample-interval", 5000, "timeline sampling period in cycles for instrumented runs")
+		benchOut       = fs.String("bench-out", "", "measure the simulation sweep and write a perf baseline JSON to this file")
+		benchCompare   = fs.String("bench-compare", "", "committed perf baseline JSON to diff the fresh measurement against")
+		benchTol       = fs.Float64("bench-tolerance", 0.05, "allowed fractional regression before -bench-compare fails")
+		benchTime      = fs.Bool("bench-time", false, "also fail -bench-compare on ns/op regressions (same-machine baselines only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			wls = append(wls, w)
 		}
 	}
+	if *benchOut != "" || *benchCompare != "" {
+		return runBench(cfg, *quick, wls, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, stderr)
+	}
+
 	r := experiments.NewRunner(cfg, wls)
 
 	for _, dir := range []string{*out, *metricsOut, *traceOut} {
@@ -206,4 +225,72 @@ func installSink(r *experiments.Runner, cfg gpu.Config, quick bool, sampleInterv
 			return telemetry.WriteChromeTrace(w, col, sum, m)
 		})
 	})
+}
+
+// benchSchemes is the Fig. 12 scheme set the bench sweep measures: the
+// baseline plus every design on the paper's headline comparison.
+func benchSchemes() []scheme.Scheme {
+	return []scheme.Scheme{
+		scheme.Baseline, scheme.Naive, scheme.CommonCtr,
+		scheme.PSSM, scheme.SHM, scheme.SHMUpperBound,
+	}
+}
+
+// runBench measures the simulation sweep cell by cell (serially, so
+// allocation counts are attributable) and writes/compares perf baselines.
+func runBench(cfg gpu.Config, quick bool, wls []string, outPath, comparePath string, tol float64, checkTime bool, stdout, stderr io.Writer) int {
+	if len(wls) == 0 {
+		wls = workload.MemoryIntensive()
+	}
+	b := perf.New(quick)
+	sweepStart := time.Now()
+	for _, wl := range wls {
+		for _, sch := range benchSchemes() {
+			bench, err := workload.ByName(wl)
+			if err != nil {
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 2
+			}
+			opts := sch.Options
+			cell := perf.Measure("run/"+wl+"/"+sch.Name, 1, func() {
+				res := gpu.NewSystem(cfg, opts).Run(bench)
+				if !res.Completed {
+					fmt.Fprintf(stderr, "paperbench: warning: %s/%s hit MaxCycles\n", wl, sch.Name)
+				}
+			})
+			b.Add(cell)
+		}
+	}
+	b.TotalWallNs = time.Since(sweepStart).Nanoseconds()
+
+	fmt.Fprint(stdout, b.FormatGoBench())
+	fmt.Fprintf(stdout, "sweep total: %v over %d cells\n", time.Duration(b.TotalWallNs).Round(time.Millisecond), len(b.Benchmarks))
+
+	if outPath != "" {
+		if err := perf.WriteFile(outPath, b); err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 1
+		}
+	}
+	if comparePath != "" {
+		base, err := perf.ReadFile(comparePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 1
+		}
+		timeTol := -1.0
+		if checkTime {
+			timeTol = tol
+		}
+		regs := perf.Compare(base, b, perf.Tolerance{AllocFrac: tol, TimeFrac: timeTol})
+		if len(regs) > 0 {
+			fmt.Fprintf(stderr, "paperbench: %d benchmark regression(s) vs %s:\n", len(regs), comparePath)
+			for _, r := range regs {
+				fmt.Fprintf(stderr, "  %s\n", r)
+			}
+			return 3
+		}
+		fmt.Fprintf(stdout, "no regressions vs %s (tolerance %.0f%%, time check %v)\n", comparePath, 100*tol, checkTime)
+	}
+	return 0
 }

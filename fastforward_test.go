@@ -1,0 +1,107 @@
+package shmgpu_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"shmgpu"
+	"shmgpu/internal/telemetry"
+)
+
+// ffArtifacts is everything observable about one run: the full Result
+// struct, the marshaled stats registry, and the JSONL telemetry stream.
+type ffArtifacts struct {
+	result   string
+	snapshot []byte
+	jsonl    []byte
+}
+
+// runMode executes one (workload, scheme, seed) cell with fast-forward either
+// enabled (the default) or disabled (reference every-cycle ticking).
+func runMode(t *testing.T, workload, scheme string, seed int64, disableFF bool) ffArtifacts {
+	t.Helper()
+	cfg := shmgpu.QuickConfig()
+	cfg.DisableFastForward = disableFF
+	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
+	res, col, err := shmgpu.RunWithTelemetrySeeded(cfg, workload, scheme, seed, tcfg)
+	if err != nil {
+		t.Fatalf("run %s/%s seed %d (disableFF=%v): %v", workload, scheme, seed, disableFF, err)
+	}
+	snap, err := json.Marshal(res.Reg.Snapshot())
+	if err != nil {
+		t.Fatalf("marshaling snapshot: %v", err)
+	}
+	m := shmgpu.Manifest{
+		Tool:          "fastforward-test",
+		SchemaVersion: telemetry.SchemaVersion,
+		Workload:      workload,
+		Scheme:        scheme,
+		SMs:           cfg.SMs,
+		Partitions:    cfg.Partitions,
+		Seed:          seed,
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, col, shmgpu.Summarize(res), m); err != nil {
+		t.Fatalf("writing JSONL: %v", err)
+	}
+	// Result carries the registry pointer; render the value fields instead.
+	return ffArtifacts{
+		result: fmt.Sprintf(
+			"cycles=%d insts=%d traffic=%+v l1=%+v l2=%+v ctr=%+v mac=%+v bmt=%+v ro=%+v stream=%+v bus=%.9f victim=%d/%d completed=%v",
+			res.Cycles, res.Instructions, res.Traffic, res.L1, res.L2,
+			res.Ctr, res.MAC, res.BMT, res.ROAccuracy, res.StreamAccuracy,
+			res.BusUtilization, res.VictimHits, res.VictimPushes, res.Completed),
+		snapshot: snap,
+		jsonl:    buf.Bytes(),
+	}
+}
+
+// TestFastForwardMatchesEveryCycle is the event-horizon equivalence gate:
+// over a corpus of (workload, scheme, seed) cells, a run with event-horizon
+// cycle skipping must be indistinguishable from the every-cycle reference —
+// identical Result fields, an identical stats-registry snapshot, and a
+// byte-identical telemetry JSONL stream (events, histograms, and the sampled
+// timeline included). Any component whose nextEvent under-reports (ticking
+// earlier would have had an effect) or whose skipped ticks are not no-ops
+// lands here.
+func TestFastForwardMatchesEveryCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus of full simulations; skipped in -short")
+	}
+	cells := []struct {
+		workload string
+		scheme   string
+		seed     int64
+	}{
+		// Schemes chosen to cover every mechanism the horizon must model:
+		// no MEE at all, full metadata traffic, sectored+local metadata,
+		// RO-counter transitions, dual-granularity MACs with MAT trackers,
+		// and the combined SHM design.
+		{"atax", "Baseline", 1},
+		{"atax", "Naive", 1},
+		{"atax", "PSSM", 1},
+		{"atax", "SHM", 1},
+		{"bfs", "SHM", 2},
+		{"fdtd2d", "SHM_readOnly", 3},
+		{"mvt", "Common_ctr", 4},
+		{"streamcluster", "SHM", 5},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(fmt.Sprintf("%s_%s_seed%d", c.workload, c.scheme, c.seed), func(t *testing.T) {
+			ff := runMode(t, c.workload, c.scheme, c.seed, false)
+			ref := runMode(t, c.workload, c.scheme, c.seed, true)
+			if ff.result != ref.result {
+				t.Errorf("Result diverges:\nfast-forward: %s\nevery-cycle:  %s", ff.result, ref.result)
+			}
+			if !bytes.Equal(ff.snapshot, ref.snapshot) {
+				t.Errorf("stats snapshots diverge:\nfast-forward: %s\nevery-cycle:  %s", ff.snapshot, ref.snapshot)
+			}
+			if !bytes.Equal(ff.jsonl, ref.jsonl) {
+				t.Errorf("telemetry JSONL diverges (%d vs %d bytes)", len(ff.jsonl), len(ref.jsonl))
+			}
+		})
+	}
+}

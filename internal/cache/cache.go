@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"shmgpu/internal/flatmap"
 	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/stats"
@@ -110,8 +111,10 @@ type line struct {
 	used  bool
 }
 
+// mshr tracks one block's outstanding sector fetches. Entries live in an
+// open-addressed table keyed by block address, so allocating and retiring
+// an MSHR never touches the heap.
 type mshr struct {
-	blockAddr memdef.Addr
 	// pending has bit i set while sector i is being fetched.
 	pending uint8
 	merges  int
@@ -121,11 +124,15 @@ type mshr struct {
 // not usable.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line // numSets × Ways, row-major
+	ways     int
 	setMask  uint64
-	mshrs    map[memdef.Addr]*mshr
+	mshrs    flatmap.Map[mshr]
 	mshrCap  int
 	lruClock uint64
+	// wbScratch backs the Writeback slices returned by Write and Fill; see
+	// the validity note on those methods.
+	wbScratch []Writeback
 	// Stats is the access-counter block for this cache.
 	Stats stats.CacheStats
 	// OnEvict, when set, observes every line eviction with the evicted
@@ -144,15 +151,12 @@ func New(cfg Config) *Cache {
 	}
 	blocks := cfg.SizeBytes / memdef.BlockSize
 	numSets := blocks / cfg.Ways
-	sets := make([][]line, numSets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
-	}
 	return &Cache{
 		cfg:     cfg,
-		sets:    sets,
+		lines:   make([]line, blocks),
+		ways:    cfg.Ways,
 		setMask: uint64(numSets - 1),
-		mshrs:   make(map[memdef.Addr]*mshr),
+		mshrs:   flatmap.NewMap[mshr](cfg.MSHRs),
 		mshrCap: cfg.MSHRs,
 	}
 }
@@ -164,8 +168,15 @@ func (c *Cache) setIndex(block memdef.Addr) uint64 {
 	return (uint64(block) / memdef.BlockSize) & c.setMask
 }
 
+// set returns the ways of the set holding block, a window into the flat
+// line array (better locality than per-set slices, and one fewer pointer
+// hop on the per-access path).
+func (c *Cache) set(si uint64) []line {
+	return c.lines[si*uint64(c.ways) : (si+1)*uint64(c.ways)]
+}
+
 func (c *Cache) findLine(block memdef.Addr) *line {
-	set := c.sets[c.setIndex(block)]
+	set := c.set(c.setIndex(block))
 	tag := uint64(block) / memdef.BlockSize
 	for i := range set {
 		if set[i].used && set[i].tag == tag {
@@ -197,8 +208,7 @@ func (c *Cache) Read(addr memdef.Addr) Outcome {
 		c.Stats.Hits++
 		return Hit
 	}
-	m, ok := c.mshrs[block]
-	if ok {
+	if m := c.mshrs.Get(uint64(block)); m != nil {
 		if m.pending&bit != 0 {
 			if m.merges >= c.cfg.MaxMergesPerMSHR {
 				return Blocked
@@ -213,13 +223,13 @@ func (c *Cache) Read(addr memdef.Addr) Outcome {
 		c.Stats.Misses++
 		return MissNew
 	}
-	if len(c.mshrs) >= c.mshrCap {
+	if c.mshrs.Len() >= c.mshrCap {
 		return Blocked
 	}
-	c.mshrs[block] = &mshr{blockAddr: block, pending: bit}
-	if invariant.Enabled() && len(c.mshrs) > c.mshrCap {
+	c.mshrs.Put(uint64(block)).pending = bit
+	if invariant.Enabled() && c.mshrs.Len() > c.mshrCap {
 		invariant.Failf("mshr-occupancy", "cache "+c.cfg.Name, 0,
-			"%d MSHRs allocated, capacity %d (block %#x)", len(c.mshrs), c.mshrCap, uint64(block))
+			"%d MSHRs allocated, capacity %d (block %#x)", c.mshrs.Len(), c.mshrCap, uint64(block))
 	}
 	c.Stats.Misses++
 	return MissNew
@@ -230,6 +240,11 @@ func (c *Cache) Read(addr memdef.Addr) Outcome {
 // (possibly evicting) and marks the sector valid+dirty. Any dirty sectors of
 // the evicted victim are returned for the caller to forward downstream.
 // Write never blocks.
+//
+// The returned Writeback slice aliases a per-cache scratch buffer and is
+// valid only until the next Write or Fill on this cache; callers must
+// consume it before touching the cache again (all callers forward it
+// immediately).
 func (c *Cache) Write(addr memdef.Addr) (Outcome, []Writeback) {
 	block := memdef.BlockAddr(addr)
 	bit := sectorBit(addr)
@@ -252,16 +267,19 @@ func (c *Cache) Write(addr memdef.Addr) (Outcome, []Writeback) {
 // (at least 1: the original MissNew requester). Fill for a sector with no
 // outstanding MSHR installs the sector anyway and reports 0 waiters —
 // callers use this for prefetch-like installs (e.g. victim-cache pushes).
+//
+// Like Write, the returned Writeback slice aliases the cache's scratch
+// buffer and is valid only until the next Write or Fill on this cache.
 func (c *Cache) Fill(addr memdef.Addr) (wb []Writeback, waiters int) {
 	block := memdef.BlockAddr(addr)
 	bit := sectorBit(addr)
 	waiters = 0
-	if m, ok := c.mshrs[block]; ok && m.pending&bit != 0 {
+	if m := c.mshrs.Get(uint64(block)); m != nil && m.pending&bit != 0 {
 		waiters = 1 + m.merges
 		m.pending &^= bit
 		m.merges = 0
 		if m.pending == 0 {
-			delete(c.mshrs, block)
+			c.mshrs.Delete(uint64(block))
 		}
 	}
 	ln := c.findLine(block)
@@ -278,7 +296,7 @@ func (c *Cache) Fill(addr memdef.Addr) (wb []Writeback, waiters int) {
 // allocate claims a line for block, evicting the LRU way. Victim dirty
 // sectors become write-backs.
 func (c *Cache) allocate(block memdef.Addr) (*line, []Writeback) {
-	set := c.sets[c.setIndex(block)]
+	set := c.set(c.setIndex(block))
 	victim := &set[0]
 	for i := range set {
 		if !set[i].used {
@@ -297,10 +315,11 @@ func (c *Cache) allocate(block memdef.Addr) (*line, []Writeback) {
 		}
 		if victim.dirty != 0 {
 			c.Stats.Writebacks++
-			wb = append(wb, Writeback{
+			c.wbScratch = append(c.wbScratch[:0], Writeback{
 				BlockAddr:  memdef.Addr(victim.tag * memdef.BlockSize),
 				SectorMask: victim.dirty,
 			})
+			wb = c.wbScratch
 		}
 	}
 	victim.tag = uint64(block) / memdef.BlockSize
@@ -317,10 +336,10 @@ func (c *Cache) touch(ln *line) {
 }
 
 // MSHRsInUse returns the number of allocated MSHR entries.
-func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
+func (c *Cache) MSHRsInUse() int { return c.mshrs.Len() }
 
 // MSHRFull reports whether a new-block miss would be Blocked right now.
-func (c *Cache) MSHRFull() bool { return len(c.mshrs) >= c.mshrCap }
+func (c *Cache) MSHRFull() bool { return c.mshrs.Len() >= c.mshrCap }
 
 // CleanInvalidate drops the sector containing addr if present, without
 // writing back. Used when a downstream owner revokes a cached copy.
@@ -340,54 +359,45 @@ func (c *Cache) CleanInvalidate(addr memdef.Addr) {
 // before flushing; flushing under outstanding misses is a cycle-model bug
 // (a leaked fetch), reported as an invariant violation with the offending
 // block addresses.
+// FlushAll allocates a fresh slice (it is a cold, kernel-boundary path and
+// its result may be held across later cache operations).
 func (c *Cache) FlushAll() []Writeback {
-	if len(c.mshrs) != 0 {
-		blocks := make([]memdef.Addr, 0, len(c.mshrs))
-		for b := range c.mshrs { //shmlint:allow maprange — reduced to an order-insensitive min below
-			blocks = append(blocks, b)
-		}
+	if c.mshrs.Len() != 0 {
+		// Reduce to the order-insensitive minimum for a deterministic
+		// representative of the leaked MSHR set.
+		first := memdef.Addr(^uint64(0))
+		c.mshrs.Range(func(b uint64, _ *mshr) bool {
+			if memdef.Addr(b) < first {
+				first = memdef.Addr(b)
+			}
+			return true
+		})
 		invariant.Failf("mshr-drain", "cache "+c.cfg.Name, 0,
 			"FlushAll with %d outstanding MSHRs (first leaked block %#x)",
-			len(c.mshrs), uint64(minAddr(blocks)))
+			c.mshrs.Len(), uint64(first))
 	}
 	var wbs []Writeback
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			ln := &c.sets[si][wi]
-			if ln.used && ln.dirty != 0 {
-				c.Stats.Writebacks++
-				wbs = append(wbs, Writeback{
-					BlockAddr:  memdef.Addr(ln.tag * memdef.BlockSize),
-					SectorMask: ln.dirty,
-				})
-			}
-			*ln = line{}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.used && ln.dirty != 0 {
+			c.Stats.Writebacks++
+			wbs = append(wbs, Writeback{
+				BlockAddr:  memdef.Addr(ln.tag * memdef.BlockSize),
+				SectorMask: ln.dirty,
+			})
 		}
+		*ln = line{}
 	}
 	return wbs
-}
-
-// minAddr returns the smallest address in s (s must be non-empty); used to
-// report a deterministic representative of a leaked MSHR set.
-func minAddr(s []memdef.Addr) memdef.Addr {
-	m := s[0]
-	for _, a := range s[1:] {
-		if a < m {
-			m = a
-		}
-	}
-	return m
 }
 
 // DirtySectorCount returns the number of dirty sectors currently held,
 // mostly for tests and occupancy stats.
 func (c *Cache) DirtySectorCount() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].used {
-				n += bits.OnesCount8(c.sets[si][wi].dirty)
-			}
+	for i := range c.lines {
+		if c.lines[i].used {
+			n += bits.OnesCount8(c.lines[i].dirty)
 		}
 	}
 	return n
@@ -396,11 +406,9 @@ func (c *Cache) DirtySectorCount() int {
 // ValidSectorCount returns the number of valid sectors currently held.
 func (c *Cache) ValidSectorCount() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].used {
-				n += bits.OnesCount8(c.sets[si][wi].valid)
-			}
+	for i := range c.lines {
+		if c.lines[i].used {
+			n += bits.OnesCount8(c.lines[i].valid)
 		}
 	}
 	return n

@@ -261,6 +261,27 @@ func (f *MATFile) Tick(now uint64) []Detection {
 	return out
 }
 
+// NextDeadline returns the earliest cycle at which an active tracker
+// expires (idle or hard deadline), or ^uint64(0) when none is armed. The
+// MEE's event horizon uses it to schedule the next expiry Tick.
+func (f *MATFile) NextDeadline() uint64 {
+	next := ^uint64(0)
+	for i := range f.trackers {
+		tr := &f.trackers[i]
+		if !tr.inUse {
+			continue
+		}
+		d := tr.deadline
+		if tr.hardDeadline < d {
+			d = tr.hardDeadline
+		}
+		if d < next {
+			next = d
+		}
+	}
+	return next
+}
+
 // Flush finalizes every active tracker (kernel boundary).
 func (f *MATFile) Flush() []Detection {
 	var out []Detection

@@ -12,7 +12,6 @@
 package dram
 
 import (
-	"container/heap"
 	"fmt"
 
 	"shmgpu/internal/invariant"
@@ -92,18 +91,57 @@ type completion struct {
 	cycle uint64
 }
 
+// completionHeap is a binary min-heap on completion cycle. The sift
+// routines mirror container/heap's up/down exactly (same comparisons, same
+// swaps) so the pop order of equal-cycle completions is unchanged from the
+// previous container/heap implementation — that tie order reaches the MEE
+// and is observable in results. Specializing removes the interface{} boxing
+// that allocated on every push.
 type completionHeap []completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
+func (h completionHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].cycle >= h[i].cycle {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h completionHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].cycle < h[j1].cycle {
+			j = j2 // right child
+		}
+		if h[j].cycle >= h[i].cycle {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	h.up(len(*h) - 1)
+}
+
+func (h *completionHeap) pop() completion {
 	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	c := old[n]
+	*h = old[:n]
+	return c
 }
 
 type bank struct {
@@ -121,6 +159,8 @@ type Channel struct {
 	banks     []bank
 	busFreeFP uint64 // fixed-point cycle (×256) when the data bus frees
 	completed completionHeap
+	// doneBuf backs the slice returned by Tick; see the validity note there.
+	doneBuf []Req
 
 	// Traffic accounts every byte moved, by class and direction.
 	Traffic stats.Traffic
@@ -202,8 +242,10 @@ func (ch *Channel) Enqueue(r Req, now uint64) bool {
 
 // Tick advances the channel to cycle now: issues eligible requests (FR-FCFS:
 // oldest row hit first, else oldest) and returns requests whose data
-// transfer completed at or before now. Call once per cycle with a
-// monotonically non-decreasing now.
+// transfer completed at or before now. Call with a monotonically
+// non-decreasing now. The returned slice aliases a per-channel scratch
+// buffer and is valid only until the next Tick (the caller consumes it
+// within the same simulated cycle).
 func (ch *Channel) Tick(now uint64) []Req {
 	if invariant.Enabled() {
 		if now < ch.lastTick {
@@ -246,7 +288,7 @@ func (ch *Channel) Tick(now uint64) []Req {
 		ch.busyFP += transferFP
 		doneCycle := (startFP + transferFP + 255) / 256
 
-		heap.Push(&ch.completed, completion{req: p.Req, cycle: doneCycle})
+		ch.completed.push(completion{req: p.Req, cycle: doneCycle})
 		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
 		if ch.probe != nil {
 			ch.probe.Emit(telemetry.Event{
@@ -262,9 +304,9 @@ func (ch *Channel) Tick(now uint64) []Req {
 		}
 	}
 
-	var done []Req
+	done := ch.doneBuf[:0]
 	for len(ch.completed) > 0 && ch.completed[0].cycle <= now {
-		c := heap.Pop(&ch.completed).(completion)
+		c := ch.completed.pop()
 		if c.req.Kind == memdef.Read {
 			ch.ReadsServed++
 		} else {
@@ -272,7 +314,30 @@ func (ch *Channel) Tick(now uint64) []Req {
 		}
 		done = append(done, c.req)
 	}
+	ch.doneBuf = done
 	return done
+}
+
+// NextEvent returns the earliest cycle after now at which the channel can
+// make progress on its own — a busy bank freeing (unblocking a queued
+// request) or an in-flight transfer completing — or ^uint64(0) when it is
+// fully drained. Tick issues every request whose bank is free and pops
+// every matured completion, so after a Tick at now both candidate times are
+// strictly in the future.
+func (ch *Channel) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for i := range ch.queue {
+		if fa := ch.banks[ch.queue[i].bank].freeAt; fa < next {
+			next = fa
+		}
+	}
+	if len(ch.completed) > 0 && ch.completed[0].cycle < next {
+		next = ch.completed[0].cycle
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // pickNext implements FR-FCFS-lite over requests whose bank is free at

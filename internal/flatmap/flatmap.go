@@ -1,0 +1,198 @@
+// Package flatmap provides open-addressed hash tables keyed by uint64 for
+// the simulator's hot per-cycle lookups (MSHR tables, in-flight DRAM
+// transactions, miss-waiter lists).
+//
+// The built-in Go map allocates on insert (bucket chains, key/value
+// storage) and cannot reuse its memory across a delete/insert cycle, so
+// structures like cache.mshrs — which churn through entries every few
+// simulated cycles — generated garbage proportional to simulated time.
+// Map stores keys and values in flat parallel arrays with linear probing
+// and backward-shift deletion: once the table has grown to its high-water
+// occupancy, insert and delete never allocate again.
+//
+// Determinism: iteration (Range) walks the backing array in slot order.
+// That order is a pure function of the insert/delete history, so identical
+// runs iterate identically — unlike the built-in map, whose order is
+// deliberately randomized. Order-sensitive callers must still sort or
+// reduce (the core only uses Range in cold error paths).
+//
+// The zero value of each type is an empty table ready for use. Not safe
+// for concurrent use.
+package flatmap
+
+// offset64 and prime64 are the FNV-1a parameters; splitmix-style mixing
+// below gives good dispersion for the address- and token-shaped keys the
+// simulator uses (low entropy in the low bits).
+const fibMix = 0x9e3779b97f4a7c15
+
+// Map is an open-addressed uint64→V hash table with linear probing.
+type Map[V any] struct {
+	keys []uint64
+	vals []V
+	used []bool
+	n    int
+}
+
+// NewMap returns a map pre-sized so that sizeHint entries fit without
+// growth. A zero Map is also valid and grows on first insert.
+func NewMap[V any](sizeHint int) Map[V] {
+	var m Map[V]
+	if sizeHint > 0 {
+		m.rehash(tableSize(sizeHint))
+	}
+	return m
+}
+
+// tableSize returns the smallest power of two holding n entries below the
+// 3/4 load-factor ceiling.
+func tableSize(n int) int {
+	size := 16
+	for size*3/4 < n {
+		size *= 2
+	}
+	return size
+}
+
+func (m *Map[V]) slot(k uint64) int {
+	h := k * fibMix
+	h ^= h >> 29
+	return int(h & uint64(len(m.keys)-1))
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Get returns a pointer to the value stored under k, or nil if absent. The
+// pointer is valid until the next Put, Delete, or Reset.
+func (m *Map[V]) Get(k uint64) *V {
+	if m.n == 0 {
+		return nil
+	}
+	mask := len(m.keys) - 1
+	for i := m.slot(k); ; i = (i + 1) & mask {
+		if !m.used[i] {
+			return nil
+		}
+		if m.keys[i] == k {
+			return &m.vals[i]
+		}
+	}
+}
+
+// Has reports whether k is present.
+func (m *Map[V]) Has(k uint64) bool { return m.Get(k) != nil }
+
+// Put inserts k with a zero value if absent and returns a pointer to the
+// stored value (existing or new). The pointer is valid until the next Put,
+// Delete, or Reset.
+func (m *Map[V]) Put(k uint64) *V {
+	if len(m.keys) == 0 || (m.n+1)*4 > len(m.keys)*3 {
+		m.grow()
+	}
+	mask := len(m.keys) - 1
+	for i := m.slot(k); ; i = (i + 1) & mask {
+		if !m.used[i] {
+			m.used[i] = true
+			m.keys[i] = k
+			var zero V
+			m.vals[i] = zero
+			m.n++
+			return &m.vals[i]
+		}
+		if m.keys[i] == k {
+			return &m.vals[i]
+		}
+	}
+}
+
+// Delete removes k, reporting whether it was present. Deletion uses
+// backward shifting (no tombstones), so probe chains stay short and the
+// table never degrades under churn.
+func (m *Map[V]) Delete(k uint64) bool {
+	if m.n == 0 {
+		return false
+	}
+	mask := len(m.keys) - 1
+	i := m.slot(k)
+	for {
+		if !m.used[i] {
+			return false
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift: pull each following cluster member into the hole if
+	// doing so shortens (or keeps) its probe distance.
+	var zero V
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !m.used[j] {
+			break
+		}
+		ideal := m.slot(m.keys[j])
+		// keys[j] may move into the hole at i only if its ideal slot does
+		// not lie strictly inside (i, j] on the probe circle.
+		if ((j - ideal) & mask) >= ((j - i) & mask) {
+			m.keys[i] = m.keys[j]
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.used[i] = false
+	m.keys[i] = 0
+	m.vals[i] = zero
+	m.n--
+	return true
+}
+
+// Range calls fn for each entry in backing-array slot order (deterministic
+// for a deterministic insert/delete history) until fn returns false.
+func (m *Map[V]) Range(fn func(k uint64, v *V) bool) {
+	for i := range m.keys {
+		if m.used[i] {
+			if !fn(m.keys[i], &m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Reset removes all entries but keeps the table storage for reuse.
+func (m *Map[V]) Reset() {
+	if m.n == 0 {
+		return
+	}
+	var zero V
+	for i := range m.keys {
+		if m.used[i] {
+			m.used[i] = false
+			m.keys[i] = 0
+			m.vals[i] = zero
+		}
+	}
+	m.n = 0
+}
+
+func (m *Map[V]) grow() {
+	size := 16
+	if len(m.keys) > 0 {
+		size = len(m.keys) * 2
+	}
+	m.rehash(size)
+}
+
+func (m *Map[V]) rehash(size int) {
+	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	m.keys = make([]uint64, size)
+	m.vals = make([]V, size)
+	m.used = make([]bool, size)
+	m.n = 0
+	for i := range oldKeys {
+		if oldUsed[i] {
+			*m.Put(oldKeys[i]) = oldVals[i]
+		}
+	}
+}

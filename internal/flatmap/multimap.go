@@ -1,0 +1,117 @@
+package flatmap
+
+// MultiMap is a uint64→[]V table that preserves FIFO order within each key
+// and recycles its list storage. It replaces the core's map[K][]V waiter
+// lists (L1 miss waiters, L2 bank waiters, MEE counter-fetch waiters),
+// where the old pattern — append to a fresh slice, delete the key on wake —
+// allocated a new backing array for almost every miss.
+//
+// Values are held in a single node arena chained by index; drained chains
+// return their nodes to a free list, so steady-state Add/Drain cycles are
+// allocation-free. FIFO order within a key is load-bearing for the
+// simulator: waiters must wake in arrival order or downstream LRU state
+// (and therefore results) would diverge from the every-cycle reference.
+type MultiMap[V any] struct {
+	m     Map[listRef]
+	nodes []mmNode[V]
+	free  int32 // head of the free-node chain, -1 if empty
+	vals  int   // total queued values across all keys
+	init  bool
+}
+
+type mmNode[V any] struct {
+	v    V
+	next int32
+}
+
+type listRef struct {
+	head, tail int32
+}
+
+// Add appends v to the FIFO list stored under k.
+func (mm *MultiMap[V]) Add(k uint64, v V) {
+	if !mm.init {
+		mm.free = -1
+		mm.init = true
+	}
+	idx := mm.free
+	if idx >= 0 {
+		mm.free = mm.nodes[idx].next
+		mm.nodes[idx] = mmNode[V]{v: v, next: -1}
+	} else {
+		idx = int32(len(mm.nodes))
+		mm.nodes = append(mm.nodes, mmNode[V]{v: v, next: -1})
+	}
+	ref := mm.m.Put(k)
+	if ref.head == 0 && ref.tail == 0 {
+		// Fresh entry: Put zeroes the value; mark chain ends explicitly.
+		ref.head, ref.tail = idx+1, idx+1 // store index+1 so zero means "empty"
+	} else {
+		mm.nodes[ref.tail-1].next = idx
+		ref.tail = idx + 1
+	}
+	mm.vals++
+}
+
+// Drain removes the list stored under k, calling fn for each value in FIFO
+// (insertion) order, and recycles the nodes. It reports whether k had any
+// waiters.
+func (mm *MultiMap[V]) Drain(k uint64, fn func(v V)) bool {
+	ref := mm.m.Get(k)
+	if ref == nil {
+		return false
+	}
+	head := ref.head - 1
+	mm.m.Delete(k)
+	var zero V
+	for i := head; i >= 0; {
+		n := &mm.nodes[i]
+		v := n.v
+		next := n.next
+		n.v = zero // release references for GC
+		n.next = mm.free
+		mm.free = i
+		mm.vals--
+		fn(v)
+		i = next
+	}
+	return true
+}
+
+// Keys returns the number of distinct keys with queued values.
+func (mm *MultiMap[V]) Keys() int { return mm.m.Len() }
+
+// Vals returns the total number of queued values.
+func (mm *MultiMap[V]) Vals() int { return mm.vals }
+
+// Empty reports whether no values are queued.
+func (mm *MultiMap[V]) Empty() bool { return mm.vals == 0 }
+
+// Reset drops all entries but keeps node storage and table capacity.
+func (mm *MultiMap[V]) Reset() {
+	mm.m.Reset()
+	var zero V
+	for i := range mm.nodes {
+		mm.nodes[i].v = zero
+		mm.nodes[i].next = int32(i) - 1
+	}
+	if len(mm.nodes) > 0 {
+		mm.free = int32(len(mm.nodes)) - 1
+	} else {
+		mm.free = -1
+	}
+	mm.init = true
+	mm.vals = 0
+}
+
+// Range calls fn once per key in deterministic slot order with that key's
+// value count. Intended for cold diagnostics paths only.
+func (mm *MultiMap[V]) Range(fn func(k uint64, count int) bool) {
+	mm.m.Range(func(k uint64, ref *listRef) bool {
+		count := 0
+		for i := ref.head - 1; i >= 0; i = mm.nodes[i].next {
+			count++
+		}
+		return fn(k, count)
+	})
+}

@@ -1,0 +1,123 @@
+package gpu
+
+import (
+	"testing"
+
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/secmem"
+)
+
+// fixedWorkload is a streaming workload whose warp programs never allocate:
+// each warp owns a fixed sector array and returns a slice of it from Next.
+// That is safe against the simulator because issueMem consumes MemInst.Sectors
+// before the SM calls advance() again, so the array is never aliased across
+// two live instructions.
+type fixedWorkload struct {
+	bufBytes uint64
+	compute  int
+	insts    int
+}
+
+func (w *fixedWorkload) Name() string { return "fixed-stream" }
+func (w *fixedWorkload) Kernels() int { return 1 }
+
+func (w *fixedWorkload) Setup(k int) KernelSetup {
+	return KernelSetup{
+		CopyRanges: []AddrRange{{0, memdef.Addr(w.bufBytes)}},
+		StreamTruths: []StreamTruth{
+			{Range: AddrRange{0, memdef.Addr(w.bufBytes)}, Streaming: true},
+		},
+	}
+}
+
+type fixedWarp struct {
+	w       *fixedWorkload
+	cursor  memdef.Addr
+	step    memdef.Addr
+	limit   memdef.Addr
+	issued  int
+	sectors [memdef.SectorsPerBlock]memdef.Addr
+}
+
+func (w *fixedWorkload) NewWarp(kernel, sm, warp int) WarpProgram {
+	const smCount, warpCount = 4, 8 // matches smallConfig
+	idx := uint64(sm*warpCount + warp)
+	total := uint64(smCount * warpCount)
+	return &fixedWarp{
+		w:      w,
+		cursor: memdef.Addr(idx * memdef.BlockSize),
+		step:   memdef.Addr(total * memdef.BlockSize),
+		limit:  memdef.Addr(w.bufBytes),
+	}
+}
+
+func (p *fixedWarp) Next() (int, MemInst, bool) {
+	if p.issued >= p.w.insts || p.cursor >= p.limit {
+		return 0, MemInst{}, true
+	}
+	p.issued++
+	base := p.cursor
+	p.cursor += p.step
+	for i := range p.sectors {
+		p.sectors[i] = base + memdef.Addr(i*memdef.SectorSize)
+	}
+	return p.w.compute, MemInst{Sectors: p.sectors[:], Space: memdef.SpaceGlobal}, false
+}
+
+// steadyState builds a system mid-kernel: the kernel is launched and warmed
+// long enough that every pool, ring buffer, and table has reached its
+// steady-state capacity.
+func steadyState(t *testing.T, opts secmem.Options) *System {
+	t.Helper()
+	cfg := smallConfig()
+	wl := &fixedWorkload{bufBytes: 40 << 20, compute: 4, insts: 20_000}
+	s := NewSystem(cfg, opts)
+	s.applySetup(0, wl.Setup(0))
+	for _, sm := range s.sms {
+		sm.launch(0, wl)
+	}
+	for i := 0; i < 30_000; i++ {
+		s.tickOnce(s.cycle)
+		s.cycle++
+	}
+	if s.smsFinished() {
+		t.Fatal("workload finished during warm-up; steady-state measurement is vacuous")
+	}
+	return s
+}
+
+// TestTickSteadyStateAllocFree pins the tentpole's allocation-free hot path:
+// once warm, a cycle of the full system (SMs, crossbar, L2 banks, MEEs, DRAM
+// channels) must perform zero heap allocations, for the insecure baseline and
+// for every secure-memory mechanism combination. Regressions here are how
+// per-cycle garbage (map churn, queue re-slicing, scratch slices) sneaks back
+// into the simulator.
+func TestTickSteadyStateAllocFree(t *testing.T) {
+	cases := []struct {
+		name string
+		opts secmem.Options
+	}{
+		{"Baseline", secmem.Options{}},
+		{"Naive", secmem.Options{Enabled: true}},
+		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}},
+		{"SHM", secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := steadyState(t, tc.opts)
+			allocs := testing.AllocsPerRun(5000, func() {
+				s.tickOnce(s.cycle)
+				s.cycle++
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state tick allocates %.2f times per cycle, want 0", allocs)
+			}
+			if s.smsFinished() {
+				t.Error("workload finished during measurement; steady-state measurement is vacuous")
+			}
+		})
+	}
+}

@@ -47,6 +47,15 @@ type Config struct {
 	MaxWarpInflightSectors int
 	// XbarLatency is the one-way interconnect latency in cycles.
 	XbarLatency uint64
+	// XbarQueueDepth is the per-partition crossbar request queue capacity;
+	// SMs see back-pressure when a partition's queue is full. (Previously a
+	// hardcoded 64 in the tick loop.)
+	XbarQueueDepth int
+	// DisableFastForward forces every-cycle ticking instead of the
+	// event-horizon fast-forward. Results are identical either way (the
+	// equivalence property test runs both); the knob exists for that test
+	// and for debugging horizon regressions.
+	DisableFastForward bool
 	// DeviceMemoryBytes is the protected device memory size.
 	DeviceMemoryBytes uint64
 	// DRAM configures each partition's channel.
@@ -83,6 +92,7 @@ func DefaultConfig() Config {
 		L1Latency:               20,
 		L2Latency:               30,
 		XbarLatency:             20,
+		XbarQueueDepth:          64,
 		MaxWarpInflightSectors:  32,
 		DeviceMemoryBytes:       768 << 20,
 		DRAM:                    dram.DefaultConfig(),
@@ -102,6 +112,9 @@ func (c Config) Validate() error {
 	}
 	if c.DeviceMemoryBytes%uint64(c.Partitions) != 0 {
 		return fmt.Errorf("gpu: device memory %d not divisible by %d partitions", c.DeviceMemoryBytes, c.Partitions)
+	}
+	if c.XbarQueueDepth <= 0 {
+		return fmt.Errorf("gpu: XbarQueueDepth must be positive")
 	}
 	return c.DRAM.Validate()
 }

@@ -2,7 +2,9 @@ package gpu
 
 import (
 	"shmgpu/internal/cache"
+	"shmgpu/internal/flatmap"
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/ringbuf"
 	"shmgpu/internal/stats"
 	"shmgpu/internal/telemetry"
 )
@@ -23,12 +25,13 @@ type L2Bank struct {
 	bank      int
 	cfg       *Config
 	c         *cache.Cache
-	// waiters maps a sector being fetched to the requests to answer.
-	waiters map[memdef.Addr][]memdef.Request
+	// waiters maps a sector being fetched to the requests to answer, in
+	// arrival (FIFO) order.
+	waiters flatmap.MultiMap[memdef.Request]
 	// input is the queue from the crossbar.
-	input []l2Request
+	input ringbuf.Ring[l2Request]
 	// toMEE buffers requests the MEE could not yet accept.
-	toMEE []memdef.Request
+	toMEE ringbuf.Ring[memdef.Request]
 
 	// Miss-rate sampling for the victim-cache trigger. Data accesses only;
 	// metadata (victim) traffic is excluded, mirroring the paper's
@@ -63,22 +66,25 @@ func newL2Bank(partition, bank int, cfg *Config) *L2Bank {
 			MSHRs:            cfg.L2MSHRs,
 			MaxMergesPerMSHR: cfg.L2Merges,
 		}),
-		waiters: map[memdef.Addr][]memdef.Request{},
 	}
 }
 
 // Stats exposes the bank's cache stats.
 func (b *L2Bank) Stats() stats.CacheStats { return b.c.Stats }
 
+// l2InputDepth is the bank input queue capacity (entries accepted from the
+// crossbar before the bank back-pressures the interconnect).
+const l2InputDepth = 64
+
 // canAccept reports whether the bank can take another request.
-func (b *L2Bank) canAccept() bool { return len(b.input) < 64 }
+func (b *L2Bank) canAccept() bool { return b.input.Len() < l2InputDepth }
 
 // enqueue admits a request from the crossbar.
 func (b *L2Bank) enqueue(r memdef.Request, now uint64) bool {
 	if !b.canAccept() {
 		return false
 	}
-	b.input = append(b.input, l2Request{req: r, arrived: now})
+	b.input.Push(l2Request{req: r, arrived: now})
 	return true
 }
 
@@ -118,8 +124,8 @@ func (b *L2Bank) victimActive() bool {
 // respond.
 func (b *L2Bank) tick(now uint64, mee meePort, respond func(memdef.Request, uint64)) {
 	// Retry buffered MEE submissions first.
-	for len(b.toMEE) > 0 {
-		r := b.toMEE[0]
+	for b.toMEE.Len() > 0 {
+		r := *b.toMEE.Front()
 		var ok bool
 		if r.Kind == memdef.Write {
 			ok = mee.SubmitWrite(r, now)
@@ -129,44 +135,49 @@ func (b *L2Bank) tick(now uint64, mee meePort, respond func(memdef.Request, uint
 		if !ok {
 			break
 		}
-		b.toMEE = b.toMEE[1:]
+		b.toMEE.PopFront()
 	}
-	if len(b.toMEE) > 96 {
+	if b.toMEE.Len() > 96 {
 		return // severe back-pressure: stop accepting work this cycle
 	}
 	const issueWidth = 2
-	for i := 0; i < issueWidth && len(b.input) > 0; i++ {
-		lr := b.input[0]
+	for i := 0; i < issueWidth && b.input.Len() > 0; i++ {
+		lr := *b.input.Front()
 		if lr.arrived+b.cfg.L2Latency > now {
 			break // model the pipeline latency
 		}
-		b.input = b.input[1:]
 		r := lr.req
 		if r.Kind == memdef.Write {
 			// Writes allocate without fetch; they are not part of the
 			// sampled data-read miss rate (the paper samples regular
 			// data misses to gate the victim cache).
+			b.input.PopFront()
 			_, wbs := b.c.Write(r.Local)
 			b.spill(wbs, r, now, mee)
 			continue
 		}
 		switch b.c.Read(r.Local) {
 		case cache.Hit:
+			b.input.PopFront()
 			b.sample(false)
 			b.accessProbe(now, telemetry.EvL2Hit)
 			respond(r, now)
 		case cache.MissNew:
+			b.input.PopFront()
 			b.sample(true)
 			b.accessProbe(now, telemetry.EvL2Miss)
-			b.waiters[memdef.SectorAddr(r.Local)] = append(b.waiters[memdef.SectorAddr(r.Local)], r)
-			b.toMEE = append(b.toMEE, r)
+			b.waiters.Add(uint64(memdef.SectorAddr(r.Local)), r)
+			b.toMEE.Push(r)
 		case cache.MissMerged:
+			b.input.PopFront()
 			b.sample(true)
 			b.accessProbe(now, telemetry.EvL2Miss)
-			b.waiters[memdef.SectorAddr(r.Local)] = append(b.waiters[memdef.SectorAddr(r.Local)], r)
+			b.waiters.Add(uint64(memdef.SectorAddr(r.Local)), r)
 		case cache.Blocked:
-			// No MSHR: leave at queue head and retry next cycle.
-			b.input = append([]l2Request{lr}, b.input...)
+			// No MSHR: leave at queue head and retry next cycle. This is
+			// deliberate head-of-line blocking — younger requests behind
+			// the blocked head must not bypass it, or response ordering
+			// (and the L1s' fill/LRU interleaving) would change.
 			return
 		}
 	}
@@ -183,7 +194,7 @@ func (b *L2Bank) spill(wbs []cache.Writeback, template memdef.Request, now uint6
 			r.Kind = memdef.Write
 			r.Local = wb.BlockAddr + memdef.Addr(s*memdef.SectorSize)
 			r.SM = -1
-			b.toMEE = append(b.toMEE, r)
+			b.toMEE.Push(r)
 		}
 	}
 	_ = now
@@ -198,10 +209,9 @@ func (b *L2Bank) onFill(local memdef.Addr, now uint64, mee meePort, respond func
 		tmpl := memdef.Request{Partition: b.partition, Space: memdef.SpaceGlobal}
 		b.spill(wbs, tmpl, now, mee)
 	}
-	for _, r := range b.waiters[sector] {
+	b.waiters.Drain(uint64(sector), func(r memdef.Request) {
 		respond(r, now)
-	}
-	delete(b.waiters, sector)
+	})
 }
 
 // Victim-cache hooks (metadata sectors live above the data address space in
@@ -230,7 +240,25 @@ func (b *L2Bank) ProbeVictim(addr memdef.Addr) bool {
 
 // drained reports whether the bank holds no queued work.
 func (b *L2Bank) drained() bool {
-	return len(b.input) == 0 && len(b.toMEE) == 0 && len(b.waiters) == 0
+	return b.input.Len() == 0 && b.toMEE.Len() == 0 && b.waiters.Empty()
+}
+
+// nextEvent returns the earliest cycle after now at which this bank can make
+// progress on its own: buffered MEE submissions retry every cycle, and the
+// input head becomes issuable once its pipeline latency has elapsed. Waiters
+// are woken by MEE fills, which the MEE's own horizon accounts for, so a
+// bank with only waiters reports no self-driven event.
+func (b *L2Bank) nextEvent(now uint64) uint64 {
+	if b.toMEE.Len() > 0 {
+		return now + 1
+	}
+	if b.input.Len() > 0 {
+		if t := b.input.Front().arrived + b.cfg.L2Latency; t > now+1 {
+			return t
+		}
+		return now + 1
+	}
+	return ^uint64(0)
 }
 
 // flushAll writes back every dirty sector at a kernel boundary, queuing the

@@ -1,11 +1,10 @@
 package gpu
 
 import (
-	"fmt"
-
 	"shmgpu/internal/cache"
-	"shmgpu/internal/invariant"
+	"shmgpu/internal/flatmap"
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/ringbuf"
 	"shmgpu/internal/telemetry"
 )
 
@@ -40,13 +39,15 @@ type smRequest struct {
 // write through to L2, invalidating any local copy), and a bounded miss
 // queue toward the crossbar.
 type SM struct {
-	id        int
-	cfg       *Config
-	warps     []warpState
-	l1        *cache.Cache
-	l1Waiters map[memdef.Addr][]int // sector -> warp indexes
+	id    int
+	cfg   *Config
+	warps []warpState
+	l1    *cache.Cache
+	// l1Waiters maps a sector being fetched to the warp indexes waiting on
+	// it, in issue (FIFO) order.
+	l1Waiters flatmap.MultiMap[int32]
 	// missQueue holds sector requests awaiting crossbar acceptance.
-	missQueue []smRequest
+	missQueue ringbuf.Ring[smRequest]
 	// lastWarp implements greedy-then-oldest scheduling.
 	lastWarp int
 
@@ -92,20 +93,27 @@ func newSM(id int, cfg *Config) *SM {
 			MSHRs:            cfg.L1MSHRs,
 			MaxMergesPerMSHR: 16,
 		}),
-		l1Waiters: map[memdef.Addr][]int{},
 	}
 }
 
-// launch installs the kernel's warps.
+// launch installs the kernel's warps, reusing the warm warp array and
+// waiter table from the previous kernel (reallocating them per kernel threw
+// away grown capacity; every slot is overwritten below, so no state leaks
+// across the boundary — the double-run determinism test pins this).
 func (s *SM) launch(kernel int, wl Workload) {
-	s.warps = make([]warpState, s.cfg.WarpsPerSM)
+	if cap(s.warps) >= s.cfg.WarpsPerSM {
+		s.warps = s.warps[:s.cfg.WarpsPerSM]
+	} else {
+		s.warps = make([]warpState, s.cfg.WarpsPerSM)
+	}
 	for w := range s.warps {
 		s.warps[w] = warpState{prog: wl.NewWarp(kernel, s.id, w)}
 		s.advance(&s.warps[w])
 	}
 	s.lastWarp = 0
-	// L1 contents do not survive kernel boundaries.
-	s.l1Waiters = map[memdef.Addr][]int{}
+	// The miss path is drained between kernels, so the waiter table is
+	// already empty; Reset also covers defensive reuse after an aborted run.
+	s.l1Waiters.Reset()
 }
 
 // advance pulls the next instruction bundle from the warp's program.
@@ -139,27 +147,28 @@ func (s *SM) finished() bool {
 // the caller's acceptance).
 func (s *SM) tick(now uint64, accept func(smRequest) bool) {
 	// Drain the miss queue first: older requests have priority.
-	for len(s.missQueue) > 0 {
-		if !accept(s.missQueue[0]) {
+	for s.missQueue.Len() > 0 {
+		if !accept(*s.missQueue.Front()) {
 			break
 		}
-		s.missQueue = s.missQueue[1:]
+		s.missQueue.PopFront()
 	}
-	if len(s.missQueue) > 32 {
+	if s.missQueue.Len() > 32 {
 		s.stallProbe(now)
 		return // throttle issue until the queue drains
 	}
 
 	n := len(s.warps)
 	for i := 0; i < n; i++ {
-		w := &s.warps[(s.lastWarp+i)%n]
+		wi := (s.lastWarp + i) % n
+		w := &s.warps[wi]
 		// Loads are non-blocking up to the in-flight cap (scoreboarded
 		// issue): a warp only stalls when its outstanding sectors reach
 		// the cap, modeling the memory-level parallelism of real warps.
 		if w.done || w.outstanding >= s.cfg.MaxWarpInflightSectors || w.readyAt > now {
 			continue
 		}
-		s.lastWarp = (s.lastWarp + i) % n
+		s.lastWarp = wi
 		if w.computeLeft > 0 {
 			w.computeLeft--
 			s.Instructions++
@@ -172,13 +181,13 @@ func (s *SM) tick(now uint64, accept func(smRequest) bool) {
 				return
 			}
 		}
-		s.issueMem(w, now)
+		s.issueMem(w, wi, now)
 		return
 	}
 	s.stallProbe(now)
 }
 
-func (s *SM) issueMem(w *warpState, now uint64) {
+func (s *SM) issueMem(w *warpState, warpIdx int, now uint64) {
 	mem := w.pendingMem
 	w.haveMem = false
 	if mem.Stall {
@@ -196,32 +205,31 @@ func (s *SM) issueMem(w *warpState, now uint64) {
 		// Stores are posted: write through toward L2, no warp stall.
 		for _, a := range mem.Sectors {
 			s.l1.CleanInvalidate(a)
-			s.missQueue = append(s.missQueue, smRequest{addr: a, write: true, space: mem.Space, sm: s.id, warp: -1})
+			s.missQueue.Push(smRequest{addr: a, write: true, space: mem.Space, sm: s.id, warp: -1})
 		}
 		s.advance(w)
 		return
 	}
 	s.Loads++
 	s.issueProbe(now, issueLoad)
-	warpIdx := s.warpIndex(w)
 	for _, a := range mem.Sectors {
 		switch s.l1.Read(a) {
 		case cache.Hit:
 			// Satisfied locally; small latency charged below.
 		case cache.MissNew:
 			w.outstanding++
-			s.l1Waiters[a] = append(s.l1Waiters[a], warpIdx)
-			s.missQueue = append(s.missQueue, smRequest{addr: a, space: mem.Space, sm: s.id, warp: warpIdx})
+			s.l1Waiters.Add(uint64(a), int32(warpIdx))
+			s.missQueue.Push(smRequest{addr: a, space: mem.Space, sm: s.id, warp: warpIdx})
 		case cache.MissMerged:
 			w.outstanding++
-			s.l1Waiters[a] = append(s.l1Waiters[a], warpIdx)
+			s.l1Waiters.Add(uint64(a), int32(warpIdx))
 		case cache.Blocked:
 			// L1 MSHRs exhausted: bypass the L1's miss tracking and send
 			// the request downstream anyway (the L2 merges duplicates);
 			// the eventual fill still wakes this warp via l1Waiters.
 			w.outstanding++
-			s.l1Waiters[a] = append(s.l1Waiters[a], warpIdx)
-			s.missQueue = append(s.missQueue, smRequest{addr: a, space: mem.Space, sm: s.id, warp: warpIdx})
+			s.l1Waiters.Add(uint64(a), int32(warpIdx))
+			s.missQueue.Push(smRequest{addr: a, space: mem.Space, sm: s.id, warp: warpIdx})
 		}
 	}
 	// Non-blocking issue: the program advances immediately; the warp only
@@ -232,29 +240,40 @@ func (s *SM) issueMem(w *warpState, now uint64) {
 	s.advance(w)
 }
 
-func (s *SM) warpIndex(w *warpState) int {
-	for i := range s.warps {
-		if &s.warps[i] == w {
-			return i
-		}
-	}
-	// A request from a warp that is not resident means the scheduler lost
-	// track of warp state mid-kernel — a model invariant, not API misuse.
-	invariant.Failf("warp-residency", fmt.Sprintf("sm[%d]", s.id), 0,
-		"memory request from a warp not resident among %d warps", len(s.warps))
-	return -1
-}
-
 // onFill delivers a sector response from L2, waking waiting warps.
 func (s *SM) onFill(addr memdef.Addr, now uint64) {
 	s.l1.Fill(addr)
-	waiters := s.l1Waiters[addr]
-	delete(s.l1Waiters, addr)
-	for _, wi := range waiters {
+	s.l1Waiters.Drain(uint64(addr), func(wi int32) {
 		w := &s.warps[wi]
 		w.outstanding--
 		if w.outstanding == 0 {
 			w.readyAt = now + 1
 		}
+	})
+}
+
+// nextEvent returns the earliest cycle after now at which this SM can act
+// on its own: queued crossbar retries and issuable warps mean the very next
+// cycle; otherwise the earliest warp wake-up (post-hit latency or back-off)
+// is the horizon. Warps capped on in-flight sectors wake via fills, which
+// the response network's horizon accounts for.
+func (s *SM) nextEvent(now uint64) uint64 {
+	if s.missQueue.Len() > 0 {
+		return now + 1
 	}
+	next := ^uint64(0)
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.done || w.outstanding >= s.cfg.MaxWarpInflightSectors {
+			continue
+		}
+		if w.readyAt > now {
+			if w.readyAt < next {
+				next = w.readyAt
+			}
+			continue
+		}
+		return now + 1
+	}
+	return next
 }

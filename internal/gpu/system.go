@@ -6,6 +6,7 @@ import (
 	"shmgpu/internal/dram"
 	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/ringbuf"
 	"shmgpu/internal/secmem"
 	"shmgpu/internal/stats"
 	"shmgpu/internal/telemetry"
@@ -92,11 +93,23 @@ type System struct {
 	channels []*dram.Channel
 	pmap     *memdef.PartitionMap
 
-	toPart [][]xbarEntry
-	toSM   []respEntry
+	// toPart and toSM are the crossbar request queues and the response
+	// network. Both are rings ordered by maturity cycle: entries are pushed
+	// with `at = now + XbarLatency` and now is monotonic, so the front is
+	// always the earliest-maturing entry.
+	toPart []ringbuf.Ring[xbarEntry]
+	toSM   ringbuf.Ring[respEntry]
 
 	cycle uint64
 	instr uint64
+
+	// tickNow is the cycle currently being ticked; acceptFn reads it so the
+	// crossbar-admission closure can be built once instead of per SM per
+	// cycle (closure construction was a measurable hot-path allocation).
+	tickNow  uint64
+	acceptFn func(smRequest) bool
+	// respondFn is the bound s.respond method value, materialized once.
+	respondFn func(memdef.Request, uint64)
 
 	// tele, when non-nil, collects probe events and timeline samples.
 	tele *telemetry.Collector
@@ -166,8 +179,10 @@ func NewSystem(cfg Config, opts secmem.Options) *System {
 		cfg:    cfg,
 		opts:   opts,
 		pmap:   memdef.NewPartitionMap(cfg.Partitions),
-		toPart: make([][]xbarEntry, cfg.Partitions),
+		toPart: make([]ringbuf.Ring[xbarEntry], cfg.Partitions),
 	}
+	s.acceptFn = s.acceptRequest
+	s.respondFn = s.respond
 	for i := 0; i < cfg.SMs; i++ {
 		s.sms = append(s.sms, newSM(i, &s.cfg))
 	}
@@ -276,6 +291,10 @@ func (s *System) Run(wl Workload) Result {
 // runKernel drives the cycle loop until all warps finish and the memory
 // system drains, or the per-kernel cycle budget runs out. It reports
 // whether the kernel completed.
+//
+// After each tick the loop advances by the event horizon (see advanceCycle)
+// rather than always by one cycle; ticks at the skipped cycles are provably
+// no-ops, so the jump is invisible in results, telemetry, and cycle counts.
 func (s *System) runKernel() bool {
 	deadline := uint64(0)
 	if s.cfg.MaxCycles > 0 {
@@ -285,12 +304,24 @@ func (s *System) runKernel() bool {
 	for {
 		now := s.cycle
 		s.tickOnce(now)
-		s.cycle++
+		finished := s.smsFinished()
+		idle := finished && s.drained()
+		if idle {
+			// Advance one cycle at a time through the exit window: the only
+			// remaining future events are armed MAT-tracker expiries, which an
+			// every-cycle run never reaches because the kernel exits after
+			// five idle cycles (FlushKernel finalizes the trackers instead).
+			// Jumping to those expiries would play out detector timeouts the
+			// reference run cuts off, diverging cycle counts and traffic.
+			s.cycle = now + 1
+		} else {
+			s.cycle = s.advanceCycle(now, deadline)
+		}
 		if deadline != 0 && s.cycle >= deadline {
 			return false
 		}
-		if s.smsFinished() {
-			if s.drained() {
+		if finished {
+			if idle {
 				idleStreak++
 				if idleStreak > 4 {
 					return true
@@ -309,7 +340,8 @@ func (s *System) runKernel() bool {
 // per-channel request-conservation invariant is checked on every successful
 // drain.
 func (s *System) drainLoop() {
-	for i := 0; i < 2_000_000; i++ {
+	start := s.cycle
+	for s.cycle-start < 2_000_000 {
 		if s.drained() {
 			if invariant.Enabled() {
 				for p, ch := range s.channels {
@@ -318,11 +350,133 @@ func (s *System) drainLoop() {
 			}
 			return
 		}
-		s.tickOnce(s.cycle)
-		s.cycle++
+		now := s.cycle
+		s.tickOnce(now)
+		if s.drained() {
+			// The tick at now completed the drain: exit at now+1 exactly as
+			// an every-cycle run would, instead of jumping to a far-future
+			// sample or detector-expiry cycle that would inflate the exit
+			// cycle (and everything downstream that reads s.cycle).
+			s.cycle = now + 1
+		} else {
+			s.cycle = s.advanceCycle(now, 0)
+		}
 	}
 	invariant.Failf("drain-convergence", "system", s.cycle,
 		"memory system did not drain after 2M cycles: %s", s.pendingSummary())
+}
+
+// advanceCycle returns the next cycle to simulate after a tick at now. With
+// fast-forward enabled it jumps to the system-wide event horizon — the
+// earliest cycle at which any component can change state — and synthesizes
+// the per-cycle telemetry the skipped ticks would have produced. deadline
+// (when nonzero) caps the jump so MaxCycles expiry fires at the same cycle
+// as under every-cycle ticking.
+//
+// The horizon contract each component implements (SM.nextEvent,
+// L2Bank.nextEvent, MEE.NextEvent, Channel.NextEvent, and the queue fronts
+// here): return the earliest cycle strictly after now at which ticking the
+// component is not a no-op, or ^uint64(0) if only another component's
+// progress can make it actable. Components that would merely retry
+// back-pressured work report now+1; a tick at a cycle below every
+// component's horizon would change no state and emit no event, which is
+// what makes the skip transparent.
+func (s *System) advanceCycle(now, deadline uint64) uint64 {
+	next := now + 1
+	if !s.cfg.DisableFastForward {
+		if h := s.nextEventCycle(now); h != ^uint64(0) && h > next {
+			next = h
+		}
+	}
+	if deadline != 0 && next > deadline {
+		next = deadline
+	}
+	if skipped := next - now - 1; skipped > 0 && s.tele != nil {
+		// An every-cycle run emits one EvSMStall per unfinished SM per idle
+		// cycle (sm.stallProbe). Stall events carry no histogram or capture
+		// payload, so bulk-adding the count is exactly equivalent.
+		for _, sm := range s.sms {
+			if !sm.finished() {
+				s.tele.AddEvents(telemetry.EvSMStall, skipped)
+			}
+		}
+	}
+	return next
+}
+
+// nextEventCycle computes the system-wide event horizon: the minimum of
+// every component's next-event cycle and the telemetry sampler's next due
+// cycle (samples must be taken at exactly the cycles an every-cycle run
+// would take them). now+1 short-circuits — nothing can be earlier.
+func (s *System) nextEventCycle(now uint64) uint64 {
+	next := ^uint64(0)
+	for _, sm := range s.sms {
+		if v := sm.nextEvent(now); v < next {
+			next = v
+			if next <= now+1 {
+				return now + 1
+			}
+		}
+	}
+	for p := range s.toPart {
+		if s.toPart[p].Len() > 0 {
+			// The ring is maturity-ordered; a matured head retries delivery
+			// every cycle (it may be waiting out bank back-pressure).
+			v := s.toPart[p].Front().at
+			if v <= now+1 {
+				return now + 1
+			}
+			if v < next {
+				next = v
+			}
+		}
+	}
+	if s.toSM.Len() > 0 {
+		v := s.toSM.Front().at
+		if v <= now+1 {
+			return now + 1
+		}
+		if v < next {
+			next = v
+		}
+	}
+	for p := range s.l2 {
+		for _, b := range s.l2[p] {
+			if v := b.nextEvent(now); v < next {
+				next = v
+				if next <= now+1 {
+					return now + 1
+				}
+			}
+		}
+	}
+	for _, mee := range s.mees {
+		if v := mee.NextEvent(now); v < next {
+			next = v
+			if next <= now+1 {
+				return now + 1
+			}
+		}
+	}
+	for _, ch := range s.channels {
+		if v := ch.NextEvent(now); v < next {
+			next = v
+			if next <= now+1 {
+				return now + 1
+			}
+		}
+	}
+	if s.tele != nil {
+		if at := s.tele.NextSampleAt(); at != ^uint64(0) {
+			if at <= now+1 {
+				return now + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	return next
 }
 
 // pendingSummary renders the stuck occupancy for drain-convergence reports:
@@ -330,9 +484,9 @@ func (s *System) drainLoop() {
 func (s *System) pendingSummary() string {
 	var xbar, resp, l2, meeBusy, dramPend int
 	for p := range s.toPart {
-		xbar += len(s.toPart[p])
+		xbar += s.toPart[p].Len()
 	}
-	resp = len(s.toSM)
+	resp = s.toSM.Len()
 	for p := range s.l2 {
 		for _, b := range s.l2[p] {
 			if !b.drained() {
@@ -352,51 +506,62 @@ func (s *System) pendingSummary() string {
 		xbar, resp, l2, meeBusy, dramPend)
 }
 
+// acceptRequest is the crossbar admission path SMs call while issuing; it
+// reads the tick cycle from s.tickNow (set by tickOnce) so the same func
+// value serves every SM every cycle.
+func (s *System) acceptRequest(r smRequest) bool {
+	part, local := s.pmap.ToLocal(r.addr)
+	if s.toPart[part].Len() >= s.cfg.XbarQueueDepth {
+		return false
+	}
+	kind := memdef.Read
+	if r.write {
+		kind = memdef.Write
+	}
+	s.toPart[part].Push(xbarEntry{
+		r: memdef.Request{
+			Phys: r.addr, Local: local, Partition: part,
+			Kind: kind, Space: r.space, SM: r.sm, Warp: r.warp,
+		},
+		at: s.tickNow + s.cfg.XbarLatency,
+	})
+	return true
+}
+
 func (s *System) tickOnce(now uint64) {
 	if s.tele != nil {
 		s.tele.MaybeSample(now, s.snapshot)
 	}
+	s.tickNow = now
 
 	// 1. SMs issue instructions; misses enter the crossbar.
 	for _, sm := range s.sms {
-		sm.tick(now, func(r smRequest) bool {
-			part, local := s.pmap.ToLocal(r.addr)
-			if len(s.toPart[part]) >= 64 {
-				return false
-			}
-			kind := memdef.Read
-			if r.write {
-				kind = memdef.Write
-			}
-			s.toPart[part] = append(s.toPart[part], xbarEntry{
-				r: memdef.Request{
-					Phys: r.addr, Local: local, Partition: part,
-					Kind: kind, Space: r.space, SM: r.sm, Warp: r.warp,
-				},
-				at: now + s.cfg.XbarLatency,
-			})
-			return true
-		})
+		sm.tick(now, s.acceptFn)
 	}
 
-	// 2. Crossbar delivers matured requests to L2 banks.
+	// 2. Crossbar delivers matured requests to L2 banks. Delivery stops at
+	// the first entry whose target bank is full: this is intentional
+	// head-of-line blocking (the per-partition crossbar port is a FIFO
+	// link, not a router), so a younger request to an uncontended bank must
+	// wait behind the blocked head. The queue is maturity-ordered, so the
+	// loop also stops at the first entry still in flight.
 	for p := range s.toPart {
-		q := s.toPart[p]
-		for len(q) > 0 && q[0].at <= now {
-			bank := s.l2[p][s.bankOf(q[0].r.Local)]
-			if !bank.enqueue(q[0].r, now) {
+		q := &s.toPart[p]
+		for q.Len() > 0 && q.Front().at <= now {
+			front := q.Front()
+			bank := s.l2[p][s.bankOf(front.r.Local)]
+			if !bank.enqueue(front.r, now) {
 				break
 			}
-			q = q[1:]
+			q.PopFront()
 		}
-		s.toPart[p] = q
 	}
 
 	// 3. L2 banks process requests, forwarding misses to their MEE.
 	for p := range s.l2 {
 		mee := s.mees[p]
 		for _, bank := range s.l2[p] {
-			bank.tick(now, mee, s.respond)
+			bank.tick(now, mee, s.respondFn)
 		}
 	}
 
@@ -404,7 +569,7 @@ func (s *System) tickOnce(now uint64) {
 	for p, mee := range s.mees {
 		for _, r := range mee.Tick(now) {
 			bank := s.l2[p][s.bankOf(r.Local)]
-			bank.onFill(r.Local, now, mee, s.respond)
+			bank.onFill(r.Local, now, mee, s.respondFn)
 		}
 	}
 
@@ -419,16 +584,15 @@ func (s *System) tickOnce(now uint64) {
 		}
 	}
 
-	// 6. Response network delivers fills to SMs.
-	rest := s.toSM[:0]
-	for _, e := range s.toSM {
-		if e.at <= now {
-			s.sms[e.sm].onFill(e.phys, now)
-		} else {
-			rest = append(rest, e)
-		}
+	// 6. Response network delivers matured fills to SMs. The ring is
+	// maturity-ordered (respond pushes with a fixed latency off a monotonic
+	// now), so the matured entries are exactly a front prefix and delivery
+	// order matches the old full-scan-in-push-order exactly — that order is
+	// load-bearing, since each fill touches L1 LRU state.
+	for s.toSM.Len() > 0 && s.toSM.Front().at <= now {
+		e := s.toSM.PopFront()
+		s.sms[e.sm].onFill(e.phys, now)
 	}
-	s.toSM = rest
 }
 
 // respond routes an L2 read response back toward its SM.
@@ -436,7 +600,7 @@ func (s *System) respond(r memdef.Request, now uint64) {
 	if r.SM < 0 {
 		return
 	}
-	s.toSM = append(s.toSM, respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
+	s.toSM.Push(respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
 }
 
 func (s *System) smsFinished() bool {
@@ -450,11 +614,11 @@ func (s *System) smsFinished() bool {
 
 func (s *System) drained() bool {
 	for p := range s.toPart {
-		if len(s.toPart[p]) > 0 {
+		if s.toPart[p].Len() > 0 {
 			return false
 		}
 	}
-	if len(s.toSM) > 0 {
+	if s.toSM.Len() > 0 {
 		return false
 	}
 	for p := range s.l2 {

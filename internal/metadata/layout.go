@@ -189,8 +189,16 @@ func (l *Layout) BMTNodeAddr(level int, idx uint64) memdef.Addr {
 // (not including) the on-chip root. slotInParent[i] gives the child slot of
 // step i's hash within step i's node.
 func (l *Layout) BMTPathForCounter(cb uint64) (path []memdef.Addr, slots []int) {
+	return l.BMTPathForCounterInto(cb, nil, nil)
+}
+
+// BMTPathForCounterInto is BMTPathForCounter appending into caller-provided
+// buffers (truncated to length zero first), so per-access walks on the hot
+// path can reuse scratch storage instead of allocating two slices per call.
+func (l *Layout) BMTPathForCounterInto(cb uint64, pathBuf []memdef.Addr, slotBuf []int) (path []memdef.Addr, slots []int) {
+	path, slots = pathBuf[:0], slotBuf[:0]
 	if len(l.bmtBases) == 0 {
-		return nil, nil
+		return path, slots
 	}
 	idx := cb
 	for level := 0; level < len(l.bmtBases); level++ {

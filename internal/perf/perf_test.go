@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	sink := make([]*int, 0, 8)
+	bm := Measure("alloc-cell", 4, func() {
+		sink = append(sink[:0], new(int), new(int))
+	})
+	if bm.Iterations != 4 {
+		t.Errorf("Iterations = %d, want 4", bm.Iterations)
+	}
+	if bm.AllocsPerOp < 2 {
+		t.Errorf("AllocsPerOp = %d, want >= 2 (two new(int) per op)", bm.AllocsPerOp)
+	}
+	if bm.NsPerOp < 0 {
+		t.Errorf("NsPerOp = %d, want >= 0", bm.NsPerOp)
+	}
+	_ = sink
+}
+
+func TestMeasureZeroAllocBody(t *testing.T) {
+	x := 0
+	bm := Measure("clean-cell", 100, func() { x++ })
+	if bm.AllocsPerOp != 0 {
+		t.Errorf("AllocsPerOp = %d for an allocation-free body, want 0", bm.AllocsPerOp)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := New(true)
+	b.TotalWallNs = 12345
+	b.Add(Benchmark{Name: "run/atax/SHM", Iterations: 1, NsPerOp: 100, AllocsPerOp: 7, BytesPerOp: 512})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || !got.Quick || got.TotalWallNs != 12345 {
+		t.Errorf("round trip lost header fields: %+v", got)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0] != b.Benchmarks[0] {
+		t.Errorf("round trip lost benchmarks: %+v", got.Benchmarks)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	b := New(false)
+	b.SchemaVersion = SchemaVersion + 1
+	if err := WriteFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted a future schema version")
+	}
+}
+
+func TestFormatGoBench(t *testing.T) {
+	b := New(false)
+	b.Add(Benchmark{Name: "run/atax/SHM", Iterations: 3, NsPerOp: 42, AllocsPerOp: 7, BytesPerOp: 512})
+	out := b.FormatGoBench()
+	if !strings.Contains(out, "Benchmarkrun/atax/SHM 3 42 ns/op 512 B/op 7 allocs/op") {
+		t.Errorf("FormatGoBench output not benchstat-shaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "goos: ") {
+		t.Errorf("FormatGoBench missing goos header:\n%s", out)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := New(true)
+	base.Add(Benchmark{Name: "a", AllocsPerOp: 100, NsPerOp: 1000})
+	base.Add(Benchmark{Name: "b", AllocsPerOp: 100, NsPerOp: 1000})
+	base.Add(Benchmark{Name: "gone", AllocsPerOp: 1, NsPerOp: 1})
+
+	cur := New(true)
+	cur.Add(Benchmark{Name: "a", AllocsPerOp: 104, NsPerOp: 5000}) // allocs within 5%, time ignored
+	cur.Add(Benchmark{Name: "b", AllocsPerOp: 120, NsPerOp: 1000}) // allocs regressed
+	cur.Add(Benchmark{Name: "new-cell", AllocsPerOp: 9999})        // new coverage, not a regression
+
+	regs := Compare(base, cur, Tolerance{AllocFrac: 0.05, TimeFrac: -1})
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2 (allocs on b, missing gone)", len(regs), regs)
+	}
+	if regs[0].Name != "b" || regs[0].Metric != "allocs/op" {
+		t.Errorf("regs[0] = %v, want allocs/op on b", regs[0])
+	}
+	if regs[1].Name != "gone" || regs[1].Metric != "missing" {
+		t.Errorf("regs[1] = %v, want missing gone", regs[1])
+	}
+
+	// Opting into the time check catches cell a's 5x slowdown.
+	regs = Compare(base, cur, Tolerance{AllocFrac: 0.05, TimeFrac: 0.05})
+	found := false
+	for _, r := range regs {
+		if r.Name == "a" && r.Metric == "ns/op" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("time check missed a's ns/op regression: %v", regs)
+	}
+}
+
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	base := New(true)
+	base.Add(Benchmark{Name: "clean", AllocsPerOp: 0})
+	cur := New(true)
+	cur.Add(Benchmark{Name: "clean", AllocsPerOp: 3})
+	if regs := Compare(base, cur, Tolerance{AllocFrac: 0.05, TimeFrac: -1}); len(regs) != 1 {
+		t.Errorf("0 -> 3 allocs/op not flagged: %v", regs)
+	}
+	cur.Benchmarks[0].AllocsPerOp = 0
+	if regs := Compare(base, cur, Tolerance{AllocFrac: 0.05, TimeFrac: -1}); len(regs) != 0 {
+		t.Errorf("0 -> 0 allocs/op flagged: %v", regs)
+	}
+}

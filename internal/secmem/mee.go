@@ -1,15 +1,16 @@
 package secmem
 
 import (
-	"container/heap"
 	"fmt"
 
 	"shmgpu/internal/cache"
 	"shmgpu/internal/detectors"
 	"shmgpu/internal/dram"
+	"shmgpu/internal/flatmap"
 	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/metadata"
+	"shmgpu/internal/ringbuf"
 	"shmgpu/internal/stats"
 	"shmgpu/internal/telemetry"
 )
@@ -67,17 +68,56 @@ type readyTxn struct {
 	t  *txn
 }
 
+// readyHeap is a min-heap on at. It mirrors container/heap's sift
+// algorithms exactly (rather than using the package, whose interface boxes
+// every pushed value): the pop order among equal-at entries is observable in
+// response ordering, so the algorithm must not change.
 type readyHeap []readyTxn
 
-func (h readyHeap) Len() int            { return len(h) }
-func (h readyHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyTxn)) }
-func (h *readyHeap) Pop() interface{} {
+func (h *readyHeap) push(x readyTxn) {
+	*h = append(*h, x)
+	h.up(len(*h) - 1)
+}
+
+func (h *readyHeap) popMin() readyTxn {
 	old := *h
-	it := old[len(old)-1]
-	*h = old[:len(old)-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	h.down(0, n)
+	it := old[n]
+	old[n] = readyTxn{}
+	*h = old[:n]
 	return it
+}
+
+func (h readyHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h readyHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].at < h[j1].at {
+			j = j2 // right child
+		}
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 type outgoing struct {
@@ -112,20 +152,35 @@ type MEE struct {
 
 	// common-counter divergence state: pages (counter-block coverage)
 	// whose counters no longer hold the common value.
-	diverged map[uint64]bool
+	diverged flatmap.Map[struct{}]
 
 	// sharedCounter is the on-chip shared counter for read-only regions.
 	sharedCounter uint64
 
-	input     []inputEntry
-	outgoing  []outgoing
-	pending   map[uint64]pendingEntry
-	ctrWait   map[memdef.Addr][]*txn
-	ready     readyHeap
+	input    ringbuf.Ring[inputEntry]
+	outgoing ringbuf.Ring[outgoing]
+	// pending maps a DRAM token to its completion action; ctrWait queues
+	// read transactions blocked on a counter-sector fetch, FIFO per sector
+	// (wake order feeds aesSchedule and is observable in timing).
+	pending flatmap.Map[pendingEntry]
+	ctrWait flatmap.MultiMap[*txn]
+	ready   readyHeap
+	// responses is the per-Tick output buffer, reused across ticks; the
+	// slice Tick returns is valid only until the next Tick.
 	responses []memdef.Request
+	// txnFree recycles txn objects (one per in-flight read) so the steady
+	// state allocates none.
+	txnFree   []*txn
 	nextToken uint64
 	aesFree   uint64
 	lastTick  uint64
+
+	// secBuf backs the slices counterSectors/macSectors/bmtSectors return;
+	// each caller consumes its slice before the next call on the same index.
+	secBuf [3][memdef.SectorsPerBlock]memdef.Addr
+	// bmtPathBuf/bmtSlotBuf are the reusable BMT-walk scratch buffers.
+	bmtPathBuf []memdef.Addr
+	bmtSlotBuf []int
 
 	// Reg collects ad-hoc event counters (transitions, mispredict classes,
 	// victim hits, etc.).
@@ -162,13 +217,10 @@ func NewMEE(cfg Config, port DRAMPort) *MEE {
 		panic(fmt.Sprintf("secmem: %v", err))
 	}
 	m := &MEE{
-		cfg:      cfg,
-		layout:   layout,
-		pmap:     memdef.NewPartitionMap(cfg.NumPartitions),
-		port:     port,
-		pending:  map[uint64]pendingEntry{},
-		ctrWait:  map[memdef.Addr][]*txn{},
-		diverged: map[uint64]bool{},
+		cfg:    cfg,
+		layout: layout,
+		pmap:   memdef.NewPartitionMap(cfg.NumPartitions),
+		port:   port,
 	}
 	if cfg.Enabled {
 		m.ctrCache = cache.New(cfg.CtrCache)
@@ -321,7 +373,7 @@ func (m *MEE) HostOverwrite(lo, hi memdef.Addr) {
 }
 
 // CanAccept reports whether SubmitRead/SubmitWrite would succeed.
-func (m *MEE) CanAccept() bool { return len(m.input) < m.cfg.InputQueue }
+func (m *MEE) CanAccept() bool { return m.input.Len() < m.cfg.InputQueue }
 
 // SubmitRead accepts one L2 sector miss. Returns false when the input
 // queue is full (back-pressure to the L2 bank).
@@ -330,7 +382,7 @@ func (m *MEE) SubmitRead(r memdef.Request, now uint64) bool {
 		return false
 	}
 	r.Kind = memdef.Read
-	m.input = append(m.input, inputEntry{req: r, at: now})
+	m.input.Push(inputEntry{req: r, at: now})
 	if m.probe != nil {
 		m.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMEEAccept, Part: int16(m.cfg.Partition), Class: 0})
 	}
@@ -343,7 +395,7 @@ func (m *MEE) SubmitWrite(r memdef.Request, now uint64) bool {
 		return false
 	}
 	r.Kind = memdef.Write
-	m.input = append(m.input, inputEntry{req: r, at: now})
+	m.input.Push(inputEntry{req: r, at: now})
 	if m.probe != nil {
 		m.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMEEAccept, Part: int16(m.cfg.Partition), Class: 1})
 	}
@@ -352,11 +404,13 @@ func (m *MEE) SubmitWrite(r memdef.Request, now uint64) bool {
 
 // Idle reports whether the MEE holds no queued or in-flight work.
 func (m *MEE) Idle() bool {
-	return len(m.input) == 0 && len(m.outgoing) == 0 && len(m.pending) == 0 &&
+	return m.input.Len() == 0 && m.outgoing.Len() == 0 && m.pending.Len() == 0 &&
 		len(m.ready) == 0 && len(m.responses) == 0
 }
 
 // Tick advances the MEE one cycle and returns completed read responses.
+// The returned slice aliases an internal buffer and is valid only until the
+// next Tick; callers must consume it immediately.
 func (m *MEE) Tick(now uint64) []memdef.Request {
 	if invariant.Enabled() && now < m.lastTick {
 		invariant.Failf("clock-monotonic", fmt.Sprintf("mee[%d]", m.cfg.Partition), now,
@@ -364,18 +418,17 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 	}
 	m.lastTick = now
 	// 1. Drain the outgoing buffer into DRAM channels.
-	for len(m.outgoing) > 0 {
-		o := m.outgoing[0]
+	for m.outgoing.Len() > 0 {
+		o := m.outgoing.Front()
 		if !m.port.Enqueue(o.part, o.req, now) {
 			break
 		}
-		m.outgoing = m.outgoing[1:]
+		m.outgoing.PopFront()
 	}
 	// 2. Process input requests while there is outgoing headroom.
 	issued := 0
-	for len(m.input) > 0 && issued < m.cfg.IssuePerCycle && len(m.outgoing) < 32 {
-		e := m.input[0]
-		m.input = m.input[1:]
+	for m.input.Len() > 0 && issued < m.cfg.IssuePerCycle && m.outgoing.Len() < 32 {
+		e := m.input.PopFront()
 		if m.cfg.Enabled {
 			m.process(e.req, e.at, now)
 		} else {
@@ -389,9 +442,11 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 			m.applyDetection(det, now)
 		}
 	}
-	// 4. Release ready responses.
+	// 4. Release ready responses. The txn is recycled here: once popped it
+	// is referenced by no pending entry or wait list (completion removed
+	// those before the heap push), so the pool reuse is safe.
 	for len(m.ready) > 0 && m.ready[0].at <= now {
-		rt := heap.Pop(&m.ready).(readyTxn)
+		rt := m.ready.popMin()
 		m.responses = append(m.responses, rt.t.req)
 		if m.probe != nil {
 			m.probe.Emit(telemetry.Event{
@@ -399,10 +454,27 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 				Part: int16(m.cfg.Partition), Value: rt.at - rt.t.submitAt,
 			})
 		}
+		m.releaseTxn(rt.t)
 	}
 	out := m.responses
-	m.responses = nil
+	m.responses = m.responses[:0]
 	return out
+}
+
+// getTxn takes a transaction object from the free pool (or allocates one);
+// releaseTxn zeroes and returns it. One txn lives per in-flight read.
+func (m *MEE) getTxn() *txn {
+	if n := len(m.txnFree); n > 0 {
+		t := m.txnFree[n-1]
+		m.txnFree = m.txnFree[:n-1]
+		return t
+	}
+	return &txn{}
+}
+
+func (m *MEE) releaseTxn(t *txn) {
+	*t = txn{}
+	m.txnFree = append(m.txnFree, t)
 }
 
 // passthrough is the insecure baseline: data requests go straight to DRAM.
@@ -411,7 +483,10 @@ func (m *MEE) passthrough(r memdef.Request, submitAt, now uint64) {
 		m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Write, Class: stats.TrafficData}, pendingEntry{kind: pkMisc})
 		return
 	}
-	t := &txn{req: r, haveOTP: true, submitAt: submitAt}
+	t := m.getTxn()
+	t.req = r
+	t.haveOTP = true
+	t.submitAt = submitAt
 	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Read, Class: stats.TrafficData}, pendingEntry{kind: pkData, txn: t})
 	_ = now
 }
@@ -423,8 +498,8 @@ func (m *MEE) passthrough(r memdef.Request, submitAt, now uint64) {
 func (m *MEE) send(part int, r dram.Req, pe pendingEntry) {
 	m.nextToken++
 	r.Token = TokenFor(m.cfg.Partition, m.nextToken)
-	m.pending[r.Token] = pe
-	m.outgoing = append(m.outgoing, outgoing{part: part, req: r})
+	*m.pending.Put(r.Token) = pe
+	m.outgoing.Push(outgoing{part: part, req: r})
 }
 
 // TokenFor builds a DRAM token owned by the given MEE partition.
@@ -500,32 +575,29 @@ func (m *MEE) metaAddrFor(r memdef.Request) memdef.Addr {
 	return r.Phys
 }
 
-// counterSectors returns the metadata sectors to fetch for a counter miss:
-// one sector under the sectored organization, the full block otherwise.
-func (m *MEE) counterSectors(metaAddr memdef.Addr) []memdef.Addr {
-	sec := m.layout.CounterSectorFor(metaAddr)
+// sectorList fills one of the fixed scratch buffers with the sectors to
+// fetch for a metadata miss: the primary sector alone under the sectored
+// organization, the full block otherwise. The returned slice is valid until
+// the next call with the same buffer index.
+func (m *MEE) sectorList(buf int, sec memdef.Addr) []memdef.Addr {
+	out := m.secBuf[buf][:0]
 	if m.cfg.SectoredMetadata {
-		return []memdef.Addr{sec}
+		return append(out, sec)
 	}
 	base := memdef.BlockAddr(sec)
-	out := make([]memdef.Addr, memdef.SectorsPerBlock)
-	for i := range out {
-		out[i] = base + memdef.Addr(i*memdef.SectorSize)
+	for i := 0; i < memdef.SectorsPerBlock; i++ {
+		out = append(out, base+memdef.Addr(i*memdef.SectorSize))
 	}
 	return out
 }
 
+// counterSectors returns the metadata sectors to fetch for a counter miss.
+func (m *MEE) counterSectors(metaAddr memdef.Addr) []memdef.Addr {
+	return m.sectorList(0, m.layout.CounterSectorFor(metaAddr))
+}
+
 func (m *MEE) macSectors(macByteAddr memdef.Addr) []memdef.Addr {
-	sec := memdef.SectorAddr(macByteAddr)
-	if m.cfg.SectoredMetadata {
-		return []memdef.Addr{sec}
-	}
-	base := memdef.BlockAddr(macByteAddr)
-	out := make([]memdef.Addr, memdef.SectorsPerBlock)
-	for i := range out {
-		out[i] = base + memdef.Addr(i*memdef.SectorSize)
-	}
-	return out
+	return m.sectorList(1, memdef.SectorAddr(macByteAddr))
 }
 
 // aesSchedule books one OTP generation on the pipelined AES engine and
@@ -678,7 +750,9 @@ func boolClass(v bool) uint8 {
 }
 
 func (m *MEE) processRead(r memdef.Request, meta memdef.Addr, ro, streaming bool, submitAt, now uint64) {
-	t := &txn{req: r, submitAt: submitAt}
+	t := m.getTxn()
+	t.req = r
+	t.submitAt = submitAt
 
 	// Data fetch always goes to this partition's DRAM.
 	m.send(m.cfg.Partition, dram.Req{Local: r.Local, Kind: memdef.Read, Class: stats.TrafficData},
@@ -709,8 +783,7 @@ func (m *MEE) processRead(r memdef.Request, meta memdef.Addr, ro, streaming bool
 		} else if pending {
 			// OTP waits for the counter sector; BMT verifies the fetched
 			// counter off the critical path.
-			key := sectors[0]
-			m.ctrWait[key] = append(m.ctrWait[key], t)
+			m.ctrWait.Add(uint64(sectors[0]), t)
 			m.bmtWalk(meta)
 		}
 	}
@@ -793,13 +866,13 @@ func (m *MEE) mdcInstallDirty(c *cache.Cache, sector memdef.Addr, class stats.Tr
 // 8 KB) of meta has left the common-counter state.
 func (m *MEE) divergedPage(meta memdef.Addr) bool {
 	cb, _ := m.layout.CounterIndex(meta)
-	return m.diverged[cb]
+	return m.diverged.Has(cb)
 }
 
 func (m *MEE) divergePage(meta memdef.Addr) {
 	cb, _ := m.layout.CounterIndex(meta)
-	if !m.diverged[cb] {
-		m.diverged[cb] = true
+	if !m.diverged.Has(cb) {
+		m.diverged.Put(cb)
 		m.Reg.Inc("cctr_diverged")
 	}
 }
@@ -828,7 +901,9 @@ func (m *MEE) bmtWalk(meta memdef.Addr) {
 		return
 	}
 	cb, _ := m.layout.CounterIndex(meta)
-	path, _ := m.layout.BMTPathForCounter(cb)
+	var path []memdef.Addr
+	path, m.bmtSlotBuf = m.layout.BMTPathForCounterInto(cb, m.bmtPathBuf, m.bmtSlotBuf)
+	m.bmtPathBuf = path
 	for _, nodeAddr := range path {
 		sector := memdef.SectorAddr(nodeAddr) // node hash lives in its first sector region; sector granularity
 		hit, _ := m.mdcRead(m.bmtCache, pkBMT, m.bmtSectors(sector), stats.TrafficBMT)
@@ -839,15 +914,7 @@ func (m *MEE) bmtWalk(meta memdef.Addr) {
 }
 
 func (m *MEE) bmtSectors(sector memdef.Addr) []memdef.Addr {
-	if m.cfg.SectoredMetadata {
-		return []memdef.Addr{sector}
-	}
-	base := memdef.BlockAddr(sector)
-	out := make([]memdef.Addr, memdef.SectorsPerBlock)
-	for i := range out {
-		out[i] = base + memdef.Addr(i*memdef.SectorSize)
-	}
-	return out
+	return m.sectorList(2, sector)
 }
 
 // bmtLeafUpdate charges the write-path BMT work for a counter update: the
@@ -858,7 +925,8 @@ func (m *MEE) bmtLeafUpdate(meta memdef.Addr) {
 		return
 	}
 	cb, _ := m.layout.CounterIndex(meta)
-	path, slots := m.layout.BMTPathForCounter(cb)
+	path, slots := m.layout.BMTPathForCounterInto(cb, m.bmtPathBuf, m.bmtSlotBuf)
+	m.bmtPathBuf, m.bmtSlotBuf = path, slots
 	leafSector := path[0] + memdef.Addr((slots[0]*metadata.HashSize/memdef.SectorSize)*memdef.SectorSize)
 	m.mdcWrite(m.bmtCache, pkBMT, leafSector, stats.TrafficBMT)
 }
@@ -891,8 +959,37 @@ func (m *MEE) maybeReady(t *txn) {
 		at = t.otpAt
 	}
 	// One cycle for the XOR/decrypt stage.
-	heap.Push(&m.ready, readyTxn{at: at + 1, t: t})
+	m.ready.push(readyTxn{at: at + 1, t: t})
 	t.enqueued = true
+}
+
+// NextEvent returns the earliest cycle strictly after now at which ticking
+// the MEE is not a no-op: queued input or buffered DRAM requests retry next
+// cycle, the ready heap's root releases at its timestamp, and armed MAT
+// trackers expire at their deadline rounded up to the next 64-cycle
+// detector tick (Tick only runs expiry at now%64 == 0, so that is the cycle
+// an every-cycle run would observe the detection). ^uint64(0) means only
+// another component's progress (a DRAM completion, new L2 input) can make
+// the MEE actable.
+func (m *MEE) NextEvent(now uint64) uint64 {
+	if m.input.Len() > 0 || m.outgoing.Len() > 0 {
+		return now + 1
+	}
+	next := ^uint64(0)
+	if len(m.ready) > 0 {
+		next = m.ready[0].at
+	}
+	if m.cfg.Enabled && !m.cfg.OracleDetectors {
+		if d := m.mats.NextDeadline(); d != ^uint64(0) {
+			if r := (d + 63) &^ 63; r < next {
+				next = r
+			}
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // applyDetection implements the Tables III/IV misprediction handling when a
@@ -979,11 +1076,12 @@ func (m *MEE) applyDetection(det detectors.Detection, now uint64) {
 
 // OnDRAMComplete routes a finished DRAM request back into the MEE.
 func (m *MEE) OnDRAMComplete(token uint64, now uint64) {
-	pe, ok := m.pending[token]
-	if !ok {
+	pep := m.pending.Get(token)
+	if pep == nil {
 		return
 	}
-	delete(m.pending, token)
+	pe := *pep
+	m.pending.Delete(token)
 	switch pe.kind {
 	case pkData:
 		pe.txn.haveData = true
@@ -991,11 +1089,10 @@ func (m *MEE) OnDRAMComplete(token uint64, now uint64) {
 		m.maybeReady(pe.txn)
 	case pkCounter:
 		m.ctrCache.Fill(pe.key)
-		for _, t := range m.ctrWait[pe.key] {
+		m.ctrWait.Drain(uint64(pe.key), func(t *txn) {
 			t.otpAt = m.aesSchedule(now)
 			m.scheduleOTPKnown(t)
-		}
-		delete(m.ctrWait, pe.key)
+		})
 	case pkMAC:
 		m.macCache.Fill(pe.key)
 	case pkBMT:

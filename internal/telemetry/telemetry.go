@@ -213,6 +213,30 @@ func (c *Collector) Emit(e Event) {
 	}
 }
 
+// AddEvents adds n occurrences of kind k to the aggregate counter without
+// materializing individual events. The fast-forward cycle loop uses it to
+// account, in bulk, the per-cycle stall events an every-cycle run would
+// have emitted across a skipped idle gap. k must be a counter-only kind —
+// no histogram observation, not capture-worthy — so that n Emit calls and
+// one AddEvents(k, n) are exactly equivalent; EvSMStall qualifies.
+func (c *Collector) AddEvents(k EventKind, n uint64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.counts[k] += n
+}
+
+// NextSampleAt returns the cycle at which the next timeline sample is due,
+// or ^uint64(0) when sampling is disabled. The event-horizon fast-forward
+// treats it as a component horizon so instrumented runs sample at exactly
+// the cycles an every-cycle run would.
+func (c *Collector) NextSampleAt() uint64 {
+	if c == nil || c.cfg.SampleInterval == 0 {
+		return ^uint64(0)
+	}
+	return c.nextSampleAt
+}
+
 // Count returns the number of events of kind k observed.
 func (c *Collector) Count(k EventKind) uint64 {
 	if c == nil {

@@ -10,11 +10,15 @@
 // Replay with a parameter sweep:
 //
 //	tracegen -replay fdtd2d.trace -trackers 4 -timeout 3000 -lead 2
+//
+// Exit codes: 0 on success, 1 on IO/runtime errors, 2 on usage errors
+// (bad flags, no mode, unknown workload or scheme).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"shmgpu"
@@ -27,44 +31,64 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl       = flag.String("workload", "fdtd2d", "benchmark to trace")
-		schName  = flag.String("scheme", "SHM", "design to run while tracing")
-		out      = flag.String("out", "", "record: trace output path")
-		quick    = flag.Bool("quick", false, "use the scaled-down configuration")
-		replay   = flag.String("replay", "", "replay: trace input path")
-		trackers = flag.Int("trackers", 8, "replay: memory access trackers per partition")
-		timeout  = flag.Uint64("timeout", 6000, "replay: monitoring-phase idle timeout (cycles)")
-		lead     = flag.Uint64("lead", 4, "replay: monitor-ahead distance (chunks)")
+		wl       = fs.String("workload", "fdtd2d", "benchmark to trace")
+		schName  = fs.String("scheme", "SHM", "design to run while tracing")
+		out      = fs.String("out", "", "record: trace output path")
+		quick    = fs.Bool("quick", false, "use the scaled-down configuration")
+		replay   = fs.String("replay", "", "replay: trace input path")
+		trackers = fs.Int("trackers", 8, "replay: memory access trackers per partition")
+		timeout  = fs.Uint64("timeout", 6000, "replay: monitoring-phase idle timeout (cycles)")
+		lead     = fs.Uint64("lead", 4, "replay: monitor-ahead distance (chunks)")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: tracegen [flags]\n\nRecords off-chip access traces and replays them through streaming detectors.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "tracegen: unexpected arguments %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
 
 	switch {
 	case *replay != "":
-		if err := doReplay(*replay, *trackers, *timeout, *lead); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := doReplay(stdout, *replay, *trackers, *timeout, *lead); err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
 		}
 	case *out != "":
-		if err := record(*wl, *schName, *out, *quick); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		bench, err := workload.ByName(*wl)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 2
+		}
+		sch, err := scheme.ByName(*schName)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 2
+		}
+		if err := record(stdout, bench, sch, *wl, *out, *quick); err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "specify -out to record or -replay to replay (see -h)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "specify -out to record or -replay to replay (see -h)")
+		return 2
 	}
+	return 0
 }
 
-func record(wl, schName, out string, quick bool) error {
-	bench, err := workload.ByName(wl)
-	if err != nil {
-		return err
-	}
-	sch, err := scheme.ByName(schName)
-	if err != nil {
-		return err
-	}
+func record(stdout io.Writer, bench *workload.Bench, sch scheme.Scheme, wl, out string, quick bool) error {
 	cfg := gpu.DefaultConfig()
 	if quick {
 		cfg = shmgpu.QuickConfig()
@@ -84,12 +108,15 @@ func record(wl, schName, out string, quick bool) error {
 	if _, err := rec.WriteTo(f); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d events from %s/%s (%d cycles) to %s\n",
-		rec.Len(), wl, schName, res.Cycles, out)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %d events from %s/%s (%d cycles) to %s\n",
+		rec.Len(), wl, sch.Name, res.Cycles, out)
 	return nil
 }
 
-func doReplay(path string, trackers int, timeout, lead uint64) error {
+func doReplay(stdout io.Writer, path string, trackers int, timeout, lead uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -118,6 +145,6 @@ func doReplay(path string, trackers int, timeout, lead uint64) error {
 	t.AddRow("detected random", res.DetectedRandom)
 	t.AddRow("timeouts", res.Timeouts)
 	t.AddRow("prediction accuracy", report.Percent(res.Accuracy.Accuracy()))
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
 	return nil
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestNoMode(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-out") || !strings.Contains(stderr, "-replay") {
+		t.Fatalf("stderr should name the mode flags:\n%s", stderr)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	code, _, stderr := runCLI(t, "-workload", "nope", "-out", filepath.Join(t.TempDir(), "t.trace"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "nope") {
+		t.Fatalf("stderr should name the unknown workload:\n%s", stderr)
+	}
+}
+
+func TestUnknownScheme(t *testing.T) {
+	code, _, _ := runCLI(t, "-scheme", "nope", "-out", filepath.Join(t.TempDir(), "t.trace"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	if code, _, _ := runCLI(t, "stray"); code != 2 {
+		t.Fatal("stray positional args must be a usage error")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if code, _, _ := runCLI(t, "-replay", filepath.Join(t.TempDir(), "missing.trace")); code != 1 {
+		t.Fatal("missing trace file must be an IO error (exit 1)")
+	}
+}
+
+func TestRecordThenReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full record/replay in -short")
+	}
+	path := filepath.Join(t.TempDir(), "bfs.trace")
+	code, stdout, stderr := runCLI(t, "-workload", "bfs", "-scheme", "SHM", "-quick", "-out", path)
+	if code != 0 {
+		t.Fatalf("record exit = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "recorded") || !strings.Contains(stdout, "bfs/SHM") {
+		t.Fatalf("record stdout = %s", stdout)
+	}
+
+	code, stdout, stderr = runCLI(t, "-replay", path, "-trackers", "4", "-timeout", "3000", "-lead", "2")
+	if code != 0 {
+		t.Fatalf("replay exit = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{"Replay of", "trackers=4", "events", "prediction accuracy"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("replay stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}

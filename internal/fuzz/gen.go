@@ -1,0 +1,194 @@
+package fuzz
+
+import (
+	"math/rand"
+)
+
+// Generation strategy: every dimension stays inside a hand-validated
+// enumeration (so generated cells are always runnable) while the
+// enumerations themselves are chosen adversarially — sector-boundary
+// buffer sizes, single-entry predictors and trackers, one-deep queues,
+// monitoring windows at the 1/32/64 edges, write-saturated tiny buffers
+// for counter pressure, and multi-kernel read-only rewrite cycles.
+
+func pick(rng *rand.Rand, vals ...int) int { return vals[rng.Intn(len(vals))] }
+
+func pickU64(rng *rand.Rand, vals ...uint64) uint64 { return vals[rng.Intn(len(vals))] }
+
+func chance(rng *rand.Rand, p float64) bool { return rng.Float64() < p }
+
+// Generate derives one random valid Case from rng. The same rng state
+// always yields the same case; campaigns derive a fresh
+// rand.New(rand.NewSource(seed+i)) per cell so any cell can be
+// regenerated from (campaign seed, index) alone.
+func Generate(rng *rand.Rand) Case {
+	var c Case
+	c.Seed = 1 + rng.Int63n(1<<30)
+
+	// --- GPU shape ---
+	s := &c.Config
+	if chance(rng, 0.5) {
+		s.SMs = pick(rng, 1, 2, 3, 4)
+	}
+	if chance(rng, 0.5) {
+		s.WarpsPerSM = pick(rng, 1, 2, 4, 8)
+	}
+	partitions := basePartitions
+	if chance(rng, 0.5) {
+		partitions = pick(rng, 1, 2, 4)
+		s.Partitions = partitions
+	}
+	if chance(rng, 0.3) {
+		s.L2Banks = pick(rng, 1, 2)
+	}
+	if chance(rng, 0.3) {
+		s.L2BankKB = pick(rng, 8, 16, 32)
+	}
+	if chance(rng, 0.3) {
+		s.L1KB = pick(rng, 2, 4, 8)
+	}
+	// Tiny queue depths and MSHR files: back-pressure and head-of-line
+	// blocking are where cycle-skipping bugs hide.
+	if chance(rng, 0.4) {
+		s.XbarQueueDepth = pick(rng, 1, 2, 4)
+	}
+	if chance(rng, 0.4) {
+		s.DRAMQueueDepth = pick(rng, 1, 2, 4)
+	}
+	if chance(rng, 0.3) {
+		s.L1MSHRs = pick(rng, 1, 2, 4)
+	}
+	if chance(rng, 0.3) {
+		s.L2MSHRs = pick(rng, 1, 2, 4, 8)
+	}
+	if chance(rng, 0.3) {
+		s.MaxInflight = pick(rng, 1, 2, 4, 16)
+	}
+	if chance(rng, 0.2) {
+		s.DRAMBanks = pick(rng, 1, 2, 8)
+	}
+	if chance(rng, 0.2) {
+		s.MEEInputQueue = pick(rng, 1, 2, 8)
+	}
+	if chance(rng, 0.2) {
+		s.MEEIssue = 1
+	}
+	// Detector epoch edges: windows at the 1/31/33/64 boundaries, idle
+	// timeouts from 1 cycle up, single-tracker files, and single-entry
+	// predictors for maximum aliasing.
+	if chance(rng, 0.35) {
+		s.Trackers = pick(rng, 1, 2, 4)
+	}
+	if chance(rng, 0.35) {
+		s.WindowAccesses = pick(rng, 1, 2, 31, 33, 64)
+	}
+	if chance(rng, 0.35) {
+		s.TimeoutCycles = pickU64(rng, 1, 16, 100, 999)
+	}
+	if chance(rng, 0.2) {
+		s.MonitorLead = pickU64(rng, 1, 2, 8)
+	}
+	if chance(rng, 0.25) {
+		s.ROEntries = pick(rng, 1, 2, 8)
+	}
+	if chance(rng, 0.25) {
+		s.StreamEntries = pick(rng, 1, 2, 8)
+	}
+	// Tiny metadata caches force eviction/writeback churn. Sizes must
+	// keep 4-way power-of-two set counts: 512 B = 1 set, 1024 B = 2.
+	if chance(rng, 0.3) {
+		s.MDCacheBytes = pick(rng, 512, 1024)
+	}
+	perPartMB := pick(rng, 1, 2, 4)
+	if perPartMB*partitions != baseDeviceMemMB {
+		s.DeviceMemMB = perPartMB * partitions
+	}
+	if chance(rng, 0.3) {
+		s.MaxKCycles = pick(rng, 20, 40, 80)
+	}
+
+	// --- workload ---
+	w := &c.Workload
+	if chance(rng, 0.6) {
+		w.MemInstsPerWarp = pick(rng, 4, 8, 32, 64)
+	}
+	if chance(rng, 0.5) {
+		w.ComputePerMem = pick(rng, 1, 2, 4, 8)
+	}
+	if chance(rng, 0.3) {
+		w.Kernels = pick(rng, 2, 3)
+		w.RewriteInputs = chance(rng, 0.5)
+		w.UseResetAPI = w.RewriteInputs && chance(rng, 0.5)
+	}
+	if chance(rng, 0.3) {
+		w.FrontierWindow = pick(rng, 1, 2, 8)
+	}
+
+	budget := uint64(perPartMB*partitions) << 20
+	nBuf := 1 + rng.Intn(4)
+	var used uint64
+	for i := 0; i < nBuf; i++ {
+		b := genBuffer(rng)
+		sz := uint64(b.KB) << 10
+		rounded := (sz + 16383) &^ uint64(16383)
+		if used+rounded > budget {
+			break
+		}
+		used += rounded
+		w.Buffers = append(w.Buffers, b)
+	}
+	if len(w.Buffers) == 0 {
+		w.Buffers = []BufferSpec{{KB: 16}}
+	}
+
+	// --- schemes ---
+	// Always keep the four-design core so every metamorphic oracle
+	// applies; sometimes ride extra Table VIII designs along.
+	if chance(rng, 0.3) {
+		extras := []string{"Common_ctr", "PSSM_cctr", "SHM_readOnly", "SHM_cctr"}
+		c.Schemes = append(append([]string(nil), DefaultSchemes...),
+			extras[rng.Intn(len(extras))])
+	}
+	return c
+}
+
+func genBuffer(rng *rand.Rand) BufferSpec {
+	var b BufferSpec
+	// Sizes sit on and just off the 16 KB region / 4 KB chunk boundaries
+	// (the declared size is region-rounded at placement; off-boundary
+	// values exercise that rounding).
+	b.KB = pick(rng, 4, 15, 16, 17, 32, 48, 63, 64, 128, 256)
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3: // stream stays the most common, as on real GPUs
+	case 4, 5, 6:
+		b.Pattern = "random"
+	case 7, 8:
+		b.Pattern = "stencil"
+	default:
+		b.Pattern = "gather"
+	}
+	switch rng.Intn(10) {
+	case 0:
+		b.Space = "constant"
+		b.ReadOnly = true
+	case 1:
+		b.Space = "texture"
+	}
+	if !b.ReadOnly && chance(rng, 0.4) {
+		b.ReadOnly = true
+	}
+	if b.ReadOnly {
+		b.HostCopied = chance(rng, 0.8)
+	} else {
+		// Write-saturated tiny buffers put the most pressure on minor
+		// counters and RO-transition paths.
+		fracs := []float64{0.05, 0.2, 0.5, 1.0}
+		b.WriteFrac = fracs[rng.Intn(len(fracs))]
+		b.HostCopied = chance(rng, 0.3)
+	}
+	if chance(rng, 0.3) {
+		weights := []float64{0.5, 2, 4}
+		b.Weight = weights[rng.Intn(len(weights))]
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+package fuzz
+
+import (
+	"encoding/json"
+)
+
+// FailurePredicate reports whether a candidate cell still exhibits the
+// failure being minimized. Predicates must be pure functions of the cell
+// (the simulator is deterministic, so re-running the oracle battery is).
+type FailurePredicate func(Case) bool
+
+// OracleFails builds the canonical predicate: the cell is still "failing"
+// when the oracle battery reports at least one violation of one of the
+// given oracle names (any violation when no names are given). Invalid
+// candidate cells count as not failing, so the shrinker never escapes the
+// valid-case space.
+func OracleFails(oracles ...string) FailurePredicate {
+	want := make(map[string]bool, len(oracles))
+	for _, o := range oracles {
+		want[o] = true
+	}
+	return func(c Case) bool {
+		vs, err := CheckCase(c)
+		if err != nil {
+			return false
+		}
+		for _, v := range vs {
+			if len(want) == 0 || want[v.Oracle] {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// cost orders cells for shrinking: fewer simulation runs first, then
+// shorter canonical JSON. The shrinker only accepts strictly
+// cost-decreasing candidates, which guarantees termination.
+func cost(c Case) (runs, jsonLen int) {
+	runs = len(c.SchemeNames())
+	data, err := json.Marshal(c)
+	if err != nil {
+		return runs, 1 << 30
+	}
+	return runs, len(data)
+}
+
+func costLess(a, b Case) bool {
+	ar, aj := cost(a)
+	br, bj := cost(b)
+	if ar != br {
+		return ar < br
+	}
+	return aj < bj
+}
+
+// candidates enumerates one pass of reduction attempts in a fixed order:
+// structural deletions first (schemes, buffers), then field resets toward
+// the tiny-base defaults, then numeric halvings. Order matters for
+// determinism, not correctness — every accepted step strictly shrinks.
+func candidates(c Case) []Case {
+	var out []Case
+
+	// Drop schemes: try each single scheme alone, then each removal.
+	names := c.SchemeNames()
+	if len(names) > 1 {
+		for _, keep := range names {
+			n := c
+			n.Schemes = []string{keep}
+			out = append(out, n)
+		}
+		for i := range names {
+			n := c
+			n.Schemes = append(append([]string(nil), names[:i]...), names[i+1:]...)
+			out = append(out, n)
+		}
+	}
+
+	// Drop buffers.
+	if len(c.Workload.Buffers) > 1 {
+		for i := range c.Workload.Buffers {
+			n := c
+			n.Workload.Buffers = append(append([]BufferSpec(nil), c.Workload.Buffers[:i]...), c.Workload.Buffers[i+1:]...)
+			out = append(out, n)
+		}
+	}
+
+	// Simplify buffers field by field.
+	for i, b := range c.Workload.Buffers {
+		try := func(mut func(*BufferSpec)) {
+			n := c
+			n.Workload.Buffers = append([]BufferSpec(nil), c.Workload.Buffers...)
+			mut(&n.Workload.Buffers[i])
+			out = append(out, n)
+		}
+		if b.KB != 0 {
+			try(func(b *BufferSpec) { b.KB = 0 })
+			if b.KB > 2*baseBufferKB {
+				try(func(b *BufferSpec) { b.KB /= 2 })
+			}
+		}
+		if b.Pattern != "" {
+			try(func(b *BufferSpec) { b.Pattern = "" })
+		}
+		if b.Space != "" {
+			try(func(b *BufferSpec) { b.Space = "" })
+		}
+		if b.ReadOnly {
+			try(func(b *BufferSpec) { b.ReadOnly = false })
+		}
+		if b.WriteFrac != 0 {
+			try(func(b *BufferSpec) { b.WriteFrac = 0 })
+		}
+		if b.Weight != 0 {
+			try(func(b *BufferSpec) { b.Weight = 0 })
+		}
+		if b.HostCopied {
+			try(func(b *BufferSpec) { b.HostCopied = false })
+		}
+		if b.Name != "" {
+			try(func(b *BufferSpec) { b.Name = "" })
+		}
+	}
+
+	// Workload scalars.
+	w := c.Workload
+	tryW := func(mut func(*WorkloadSpec)) {
+		n := c
+		mut(&n.Workload)
+		out = append(out, n)
+	}
+	for _, f := range []struct {
+		val int
+		mut func(*WorkloadSpec, int)
+	}{
+		{w.Kernels, func(w *WorkloadSpec, v int) { w.Kernels = v }},
+		{w.MemInstsPerWarp, func(w *WorkloadSpec, v int) { w.MemInstsPerWarp = v }},
+		{w.ComputePerMem, func(w *WorkloadSpec, v int) { w.ComputePerMem = v }},
+		{w.FrontierWindow, func(w *WorkloadSpec, v int) { w.FrontierWindow = v }},
+	} {
+		f := f
+		if f.val != 0 {
+			tryW(func(w *WorkloadSpec) { f.mut(w, 0) })
+			if f.val > 2 {
+				tryW(func(w *WorkloadSpec) { f.mut(w, f.val/2) })
+			}
+		}
+	}
+	if w.RewriteInputs {
+		tryW(func(w *WorkloadSpec) { w.RewriteInputs = false; w.UseResetAPI = false })
+	}
+	if w.UseResetAPI {
+		tryW(func(w *WorkloadSpec) { w.UseResetAPI = false })
+	}
+
+	// Config fields: reset each non-zero field to its default, then try
+	// halving the larger numeric ones.
+	s := c.Config
+	tryC := func(mut func(*ConfigSpec)) {
+		n := c
+		mut(&n.Config)
+		out = append(out, n)
+	}
+	for _, f := range []struct {
+		val int
+		mut func(*ConfigSpec, int)
+	}{
+		{s.SMs, func(s *ConfigSpec, v int) { s.SMs = v }},
+		{s.WarpsPerSM, func(s *ConfigSpec, v int) { s.WarpsPerSM = v }},
+		{s.Partitions, func(s *ConfigSpec, v int) { s.Partitions = v }},
+		{s.L2Banks, func(s *ConfigSpec, v int) { s.L2Banks = v }},
+		{s.L2BankKB, func(s *ConfigSpec, v int) { s.L2BankKB = v }},
+		{s.L1KB, func(s *ConfigSpec, v int) { s.L1KB = v }},
+		{s.L1MSHRs, func(s *ConfigSpec, v int) { s.L1MSHRs = v }},
+		{s.L2MSHRs, func(s *ConfigSpec, v int) { s.L2MSHRs = v }},
+		{s.XbarQueueDepth, func(s *ConfigSpec, v int) { s.XbarQueueDepth = v }},
+		{s.MaxInflight, func(s *ConfigSpec, v int) { s.MaxInflight = v }},
+		{s.DeviceMemMB, func(s *ConfigSpec, v int) { s.DeviceMemMB = v }},
+		{s.MaxKCycles, func(s *ConfigSpec, v int) { s.MaxKCycles = v }},
+		{s.DRAMQueueDepth, func(s *ConfigSpec, v int) { s.DRAMQueueDepth = v }},
+		{s.DRAMBanks, func(s *ConfigSpec, v int) { s.DRAMBanks = v }},
+		{s.MDCacheBytes, func(s *ConfigSpec, v int) { s.MDCacheBytes = v }},
+		{s.Trackers, func(s *ConfigSpec, v int) { s.Trackers = v }},
+		{s.WindowAccesses, func(s *ConfigSpec, v int) { s.WindowAccesses = v }},
+		{s.ROEntries, func(s *ConfigSpec, v int) { s.ROEntries = v }},
+		{s.StreamEntries, func(s *ConfigSpec, v int) { s.StreamEntries = v }},
+		{s.MEEInputQueue, func(s *ConfigSpec, v int) { s.MEEInputQueue = v }},
+		{s.MEEIssue, func(s *ConfigSpec, v int) { s.MEEIssue = v }},
+	} {
+		f := f
+		if f.val != 0 {
+			tryC(func(s *ConfigSpec) { f.mut(s, 0) })
+		}
+	}
+	if s.TimeoutCycles != 0 {
+		tryC(func(s *ConfigSpec) { s.TimeoutCycles = 0 })
+	}
+	if s.MonitorLead != 0 {
+		tryC(func(s *ConfigSpec) { s.MonitorLead = 0 })
+	}
+
+	// Seed and name cosmetics last: a failure that survives a seed swap
+	// is a much stronger repro, but behaviour is seed-dependent, so this
+	// must not preempt structural reduction.
+	if c.Seed > 3 {
+		n := c
+		n.Seed = 1 + c.Seed%3
+		out = append(out, n)
+	}
+	if c.Name != "" {
+		n := c
+		n.Name = ""
+		out = append(out, n)
+	}
+	return out
+}
+
+// Shrink greedily reduces a failing cell to a minimal one: in each pass
+// it tries the reduction candidates in a fixed order and accepts the
+// first strictly cost-smaller candidate that still fails, restarting
+// until a full pass makes no progress or the attempt budget is spent.
+// The procedure is deterministic: the same cell and predicate always
+// produce the same minimal repro. attempts counts predicate evaluations
+// (each one runs the full oracle battery); budget ≤ 0 means the default
+// of 300.
+func Shrink(c Case, pred FailurePredicate, budget int) (Case, int) {
+	if budget <= 0 {
+		budget = 300
+	}
+	attempts := 0
+	for {
+		progressed := false
+		for _, cand := range candidates(c) {
+			if attempts >= budget {
+				return c, attempts
+			}
+			if !costLess(cand, c) {
+				continue
+			}
+			attempts++
+			if pred(cand) {
+				c = cand
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return c, attempts
+		}
+	}
+}

@@ -104,6 +104,25 @@ func SetHandler(h Handler) Handler {
 	return prev
 }
 
+// CollectInto arms the sanitizer and records every reported violation
+// into dst instead of panicking, returning a restore function that
+// reinstates the previous handler and enablement. It is the harness-side
+// adapter that lets the differential-fuzzing oracles (internal/fuzz) and
+// tests reuse the runtime checks as a recording oracle:
+//
+//	var got []invariant.Violation
+//	restore := invariant.CollectInto(&got)
+//	defer restore()
+func CollectInto(dst *[]Violation) (restore func()) {
+	prevEnabled := Enabled()
+	SetEnabled(true)
+	prevHandler := SetHandler(func(v *Violation) { *dst = append(*dst, *v) })
+	return func() {
+		SetHandler(prevHandler)
+		SetEnabled(prevEnabled)
+	}
+}
+
 // Failf reports a violation of check on component at cycle with formatted
 // detail. It always reports regardless of Enabled(): gating is the check
 // site's job (and only for detection work that costs more than a branch).

@@ -56,6 +56,23 @@ func (p Pattern) String() string {
 // the dual-granularity MAC decision.
 func (p Pattern) Streaming() bool { return p == Stream || p == Stencil }
 
+// ParsePattern maps a pattern name back to its Pattern; the empty string
+// selects Stream. It is the inverse of String, used by declarative
+// workload descriptions (the fuzz corpus's replayable JSON cases).
+func ParsePattern(name string) (Pattern, error) {
+	switch name {
+	case "", "stream":
+		return Stream, nil
+	case "random":
+		return Random, nil
+	case "stencil":
+		return Stencil, nil
+	case "gather":
+		return Gather, nil
+	}
+	return Stream, fmt.Errorf("workload: unknown access pattern %q", name)
+}
+
 // Buffer declares one device allocation of a benchmark.
 type Buffer struct {
 	// Name identifies the buffer ("matrix A", "edge list", ...).

@@ -66,8 +66,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchCompare   = fs.String("bench-compare", "", "committed perf baseline JSON to diff the fresh measurement against")
 		benchTol       = fs.Float64("bench-tolerance", 0.05, "allowed fractional regression before -bench-compare fails")
 		benchTime      = fs.Bool("bench-time", false, "also fail -bench-compare on ns/op regressions (same-machine baselines only)")
+		shards         = fs.Int("shards", 0, "parallel tick shards per run (0 = sequential; results are byte-identical). In bench mode, additionally measures run/<wl>/<scheme>/shards=N cells")
+		workers        = fs.Int("workers", 0, "prefetch worker-pool size for figure sweeps (0 = NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *shards < 0 || *workers < 0 {
+		fmt.Fprintf(stderr, "paperbench: -shards and -workers must be non-negative\n")
 		return 2
 	}
 
@@ -75,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.ParallelShards = *shards
 	var wls []string
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
@@ -87,10 +94,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *benchOut != "" || *benchCompare != "" {
-		return runBench(cfg, *quick, wls, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, stderr)
+		return runBench(cfg, *quick, wls, *shards, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, stderr)
 	}
 
 	r := experiments.NewRunner(cfg, wls)
+	r.SetWorkers(*workers)
 
 	for _, dir := range []string{*out, *metricsOut, *traceOut} {
 		if dir != "" {
@@ -238,12 +246,20 @@ func benchSchemes() []scheme.Scheme {
 
 // runBench measures the simulation sweep cell by cell (serially, so
 // allocation counts are attributable) and writes/compares perf baselines.
-func runBench(cfg gpu.Config, quick bool, wls []string, outPath, comparePath string, tol float64, checkTime bool, stdout, stderr io.Writer) int {
+// Sequential cells keep their historical names; with shards > 0 every
+// (workload, scheme) is additionally measured under the parallel engine as
+// run/<wl>/<scheme>/shards=N, so the baseline gate covers both modes.
+func runBench(cfg gpu.Config, quick bool, wls []string, shards int, outPath, comparePath string, tol float64, checkTime bool, stdout, stderr io.Writer) int {
 	if len(wls) == 0 {
 		wls = workload.MemoryIntensive()
 	}
 	b := perf.New(quick)
+	b.Shards = shards
 	sweepStart := time.Now()
+	seqCfg := cfg
+	seqCfg.ParallelShards = 0
+	parCfg := cfg
+	parCfg.ParallelShards = shards
 	for _, wl := range wls {
 		for _, sch := range benchSchemes() {
 			bench, err := workload.ByName(wl)
@@ -253,12 +269,28 @@ func runBench(cfg gpu.Config, quick bool, wls []string, outPath, comparePath str
 			}
 			opts := sch.Options
 			cell := perf.Measure("run/"+wl+"/"+sch.Name, 1, func() {
-				res := gpu.NewSystem(cfg, opts).Run(bench)
+				res := gpu.NewSystem(seqCfg, opts).Run(bench)
 				if !res.Completed {
 					fmt.Fprintf(stderr, "paperbench: warning: %s/%s hit MaxCycles\n", wl, sch.Name)
 				}
 			})
 			b.Add(cell)
+			if shards > 0 {
+				// A Bench carries per-run frontier-pacing state; the
+				// parallel cell needs its own instance.
+				bench, err := workload.ByName(wl)
+				if err != nil {
+					fmt.Fprintf(stderr, "paperbench: %v\n", err)
+					return 2
+				}
+				cell := perf.Measure(fmt.Sprintf("run/%s/%s/shards=%d", wl, sch.Name, shards), 1, func() {
+					res := gpu.NewSystem(parCfg, opts).Run(bench)
+					if !res.Completed {
+						fmt.Fprintf(stderr, "paperbench: warning: %s/%s (shards=%d) hit MaxCycles\n", wl, sch.Name, shards)
+					}
+				})
+				b.Add(cell)
+			}
 		}
 	}
 	b.TotalWallNs = time.Since(sweepStart).Nanoseconds()

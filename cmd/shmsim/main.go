@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sampleInterval = fs.Uint64("sample-interval", 5000, "timeline sampling period in cycles (0 disables the timeline)")
 		seed           = fs.Int64("seed", 0, "workload seed for the warp programs' random streams (0 = the benchmark's built-in seed)")
 		check          = fs.Bool("check", false, "enable the runtime invariant sanitizer (model self-checks; slower)")
+		shards         = fs.Int("shards", 0, "parallel tick shards (0 = sequential; results are byte-identical either way)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: shmsim [flags]\n\nRuns one workload under one secure-memory design.\n\nFlags:\n")
@@ -78,6 +79,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *quick {
 		cfg = shmgpu.QuickConfig()
 	}
+	if *shards < 0 {
+		fmt.Fprintf(stderr, "shmsim: -shards must be non-negative, got %d\n", *shards)
+		return 2
+	}
+	cfg.ParallelShards = *shards
 	if _, err := scheme.ByName(*sch); err != nil {
 		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
 		return 2

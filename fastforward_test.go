@@ -22,8 +22,17 @@ type ffArtifacts struct {
 // enabled (the default) or disabled (reference every-cycle ticking).
 func runMode(t *testing.T, workload, scheme string, seed int64, disableFF bool) ffArtifacts {
 	t.Helper()
+	return runCell(t, workload, scheme, seed, 0, disableFF)
+}
+
+// runCell executes one quick-config cell with the given shard count (0 =
+// sequential) and fast-forward mode; it is the shared artifact collector
+// behind the fast-forward and parallel equivalence corpora.
+func runCell(t *testing.T, workload, scheme string, seed int64, shards int, disableFF bool) ffArtifacts {
+	t.Helper()
 	cfg := shmgpu.QuickConfig()
 	cfg.DisableFastForward = disableFF
+	cfg.ParallelShards = shards
 	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
 	res, col, err := shmgpu.RunWithTelemetrySeeded(cfg, workload, scheme, seed, tcfg)
 	if err != nil {

@@ -10,11 +10,20 @@
 // may opt out with `//shmlint:allow maprange` (etc.) when the construct is
 // provably order-insensitive — the annotation doubles as the written
 // justification.
+//
+// Goroutines have their own, stricter annotation: `//shm:parallel-ok` on the
+// spawning line marks a vetted fork/join worker (the fixed pool behind the
+// shard engine and the sweep prefetcher) whose batches join before model
+// state is read, so goroutine scheduling cannot leak into results. Ad-hoc
+// `go` statements in the core stay flagged; the distinct spelling keeps
+// parallel-engine waivers greppable separately from ordinary lint allows.
 package nodeterminism
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"regexp"
 	"strings"
 
 	"shmgpu/internal/analysis"
@@ -37,6 +46,7 @@ var Restricted = []string{
 	"internal/secmem",
 	"internal/bmt",
 	"internal/detectors",
+	"internal/pool",
 }
 
 // restrictedPath reports whether pkgPath falls in the deterministic core.
@@ -58,10 +68,44 @@ var globalRandAllowed = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
 }
 
+// parallelOkRE matches the fork/join-worker waiver annotation.
+var parallelOkRE = regexp.MustCompile(`//shm:parallel-ok\b`)
+
+// parallelOK reports whether the line containing pos carries a
+// `//shm:parallel-ok` annotation. Like Pass.Allowed, the annotation must sit
+// on the same source line as the go statement it waives; the per-file line
+// sets are built lazily and cached in lines.
+func parallelOK(pass *analysis.Pass, lines map[*ast.File]map[int]bool, pos token.Pos) bool {
+	var file *ast.File
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	set, ok := lines[file]
+	if !ok {
+		set = map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if parallelOkRE.MatchString(c.Text) {
+					set[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		lines[file] = set
+	}
+	return set[pass.Fset.Position(pos).Line]
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	if !restrictedPath(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	parallelLines := map[*ast.File]map[int]bool{}
 	pass.Inspect(func(n ast.Node) bool {
 		if n == nil {
 			return true
@@ -71,8 +115,12 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		switch node := n.(type) {
 		case *ast.GoStmt:
+			if parallelOK(pass, parallelLines, node.Pos()) {
+				return true
+			}
 			pass.Reportf(node.Pos(),
-				"goroutine spawned in deterministic core package %s; the simulator is single-threaded per run",
+				"goroutine spawned in deterministic core package %s; the simulator is single-threaded per run "+
+					"(a vetted fork/join pool worker may be waived with //shm:parallel-ok on the spawning line)",
 				pass.Pkg.Path())
 		case *ast.RangeStmt:
 			t := pass.TypesInfo.TypeOf(node.X)

@@ -19,6 +19,7 @@ import (
 	"shmgpu/internal/detectors"
 	"shmgpu/internal/energy"
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/pool"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/stats"
@@ -31,6 +32,9 @@ type Runner struct {
 	cfg       gpu.Config
 	workloads []string
 
+	// workers bounds the Prefetch pool; 0 selects runtime.NumCPU().
+	workers int
+
 	// When sink is non-nil every uncached run is instrumented with a
 	// telemetry collector (config tcfg) handed to sink on completion.
 	tcfg telemetry.Config
@@ -39,6 +43,13 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]gpu.Result
 }
+
+// SetWorkers bounds the Prefetch worker pool (paperbench -workers).
+// 0 restores the default, runtime.NumCPU(). Note that sweep-level workers
+// multiply with Config.ParallelShards — each prefetched run ticks on its
+// own shard pool — so a machine-sized -workers with shards enabled
+// oversubscribes; prefer one or the other at full width.
+func (r *Runner) SetWorkers(n int) { r.workers = n }
 
 // SetTelemetrySink instruments every subsequent uncached run with a fresh
 // collector and passes it to sink together with the result. Prefetch runs
@@ -129,8 +140,10 @@ type job struct {
 	accuracy bool
 }
 
-// Prefetch runs the given (workload × scheme) cross product on a worker
-// pool, filling the cache.
+// Prefetch runs the given (workload × scheme) cross product on the shared
+// fixed worker pool (internal/pool — the same implementation the sharded
+// tick engine uses), filling the cache. Worker count comes from
+// SetWorkers, defaulting to runtime.NumCPU().
 func (r *Runner) Prefetch(schemes []scheme.Scheme, accuracy bool) {
 	var jobs []job
 	for _, wl := range r.workloads {
@@ -138,26 +151,24 @@ func (r *Runner) Prefetch(schemes []scheme.Scheme, accuracy bool) {
 			jobs = append(jobs, job{wl, sch, accuracy})
 		}
 	}
-	workers := runtime.NumCPU()
+	if len(jobs) == 0 {
+		return
+	}
+	workers := r.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				r.run(j.wl, j.sch, j.accuracy)
-			}
-		}()
+	tasks := make([]func(), len(jobs))
+	for i := range jobs {
+		j := jobs[i]
+		tasks[i] = func() { r.run(j.wl, j.sch, j.accuracy) }
 	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	p := pool.New(workers)
+	defer p.Close()
+	p.Run(tasks)
 }
 
 // normalizedIPC returns scheme IPC / baseline IPC for a workload.

@@ -18,9 +18,9 @@ import (
 // Violation is one oracle failure for a cell.
 type Violation struct {
 	// Oracle names the violated property ("ff-equivalence",
-	// "determinism", "sanitizer-transparency", "detector-ablation",
-	// "metamorphic-ipc", "metamorphic-metadata", "conservation",
-	// "invariant").
+	// "parallel-equivalence", "determinism", "sanitizer-transparency",
+	// "detector-ablation", "metamorphic-ipc", "metamorphic-metadata",
+	// "conservation", "invariant").
 	Oracle string `json:"oracle"`
 	// Scheme is the design under which the violation surfaced.
 	Scheme string `json:"scheme,omitempty"`
@@ -83,13 +83,18 @@ func resultLine(res gpu.Result) string {
 // oracle runs SHM-derived options under PSSM's label so the byte
 // comparison sees identical manifests). When sanitize is set the runtime
 // invariant sanitizer is armed for the run and its violations returned.
-func (c Case) runArtifacts(schemeLabel string, opts secmem.Options, disableFF, sanitize bool) (artifacts, []invariant.Violation, error) {
+// shards overrides the cell's ParallelShards for this run (0 =
+// sequential); the parallel-equivalence oracle is the only caller that
+// passes a non-zero value, so every other oracle compares runs of the
+// reference sequential engine.
+func (c Case) runArtifacts(schemeLabel string, opts secmem.Options, disableFF, sanitize bool, shards int) (artifacts, []invariant.Violation, error) {
 	bench, err := c.Bench()
 	if err != nil {
 		return artifacts{}, nil, err
 	}
 	cfg := c.GPUConfig()
 	cfg.DisableFastForward = disableFF
+	cfg.ParallelShards = shards
 
 	var collected []invariant.Violation
 	if sanitize {
@@ -194,15 +199,24 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		if err != nil {
 			return nil, err
 		}
-		ff, _, err := c.runArtifacts(name, sch.Options, false, false)
+		ff, _, err := c.runArtifacts(name, sch.Options, false, false, 0)
 		if err != nil {
 			return nil, err
 		}
-		ref, _, err := c.runArtifacts(name, sch.Options, true, false)
+		ref, _, err := c.runArtifacts(name, sch.Options, true, false, 0)
 		if err != nil {
 			return nil, err
 		}
 		vs = append(vs, diffArtifacts("ff-equivalence", name, "fast-forward", "every-cycle", ff, ref)...)
+		// The sharded engine must be invisible: same Result, same stats,
+		// same telemetry bytes. Schemes whose metadata mapping is not
+		// partition-local fall back to the sequential engine under the
+		// gate, so the comparison also pins the fallback path.
+		par, _, err := c.runArtifacts(name, sch.Options, false, false, 2)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, diffArtifacts("parallel-equivalence", name, "shards=2", "sequential", par, ff)...)
 		vs = append(vs, conservation(c, sch.Options, name, ff.res)...)
 		arts[name] = ff
 	}
@@ -219,13 +233,13 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	again, _, err := c.runArtifacts(det, detSch.Options, false, false)
+	again, _, err := c.runArtifacts(det, detSch.Options, false, false, 0)
 	if err != nil {
 		return nil, err
 	}
 	vs = append(vs, diffArtifacts("determinism", det, "first-run", "second-run", arts[det], again)...)
 
-	san, ivs, err := c.runArtifacts(det, detSch.Options, false, true)
+	san, ivs, err := c.runArtifacts(det, detSch.Options, false, true, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +260,7 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		abl := shm.Options
 		abl.ReadOnlyOpt = false
 		abl.DualGranMAC = false
-		ablArts, _, err := c.runArtifacts("PSSM", abl, false, false)
+		ablArts, _, err := c.runArtifacts("PSSM", abl, false, false, 0)
 		if err != nil {
 			return nil, err
 		}

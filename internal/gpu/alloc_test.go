@@ -66,15 +66,23 @@ func (p *fixedWarp) Next() (int, MemInst, bool) {
 
 // steadyState builds a system mid-kernel: the kernel is launched and warmed
 // long enough that every pool, ring buffer, and table has reached its
-// steady-state capacity.
-func steadyState(t *testing.T, opts secmem.Options) *System {
+// steady-state capacity. shards > 0 runs the warm-up and measurement under
+// the sharded parallel engine (its outboxes and shard buffers must likewise
+// reach capacity during warm-up, not grow per tick).
+func steadyState(t *testing.T, opts secmem.Options, shards int) *System {
 	t.Helper()
 	cfg := smallConfig()
+	cfg.ParallelShards = shards
 	wl := &fixedWorkload{bufBytes: 40 << 20, compute: 4, insts: 20_000}
 	s := NewSystem(cfg, opts)
 	s.applySetup(0, wl.Setup(0))
 	for _, sm := range s.sms {
 		sm.launch(0, wl)
+	}
+	s.startParallel()
+	t.Cleanup(s.stopParallel)
+	if shards > 0 && s.par == nil {
+		t.Fatal("parallel engine did not start; measurement would cover the sequential loop")
 	}
 	for i := 0; i < 30_000; i++ {
 		s.tickOnce(s.cycle)
@@ -94,20 +102,28 @@ func steadyState(t *testing.T, opts secmem.Options) *System {
 // into the simulator.
 func TestTickSteadyStateAllocFree(t *testing.T) {
 	cases := []struct {
-		name string
-		opts secmem.Options
+		name   string
+		opts   secmem.Options
+		shards int
 	}{
-		{"Baseline", secmem.Options{}},
-		{"Naive", secmem.Options{Enabled: true}},
-		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}},
+		{"Baseline", secmem.Options{}, 0},
+		{"Naive", secmem.Options{Enabled: true}, 0},
+		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0},
 		{"SHM", secmem.Options{
 			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
 			ReadOnlyOpt: true, DualGranMAC: true,
-		}},
+		}, 0},
+		// The sharded engine must be allocation-free too: shard scratch
+		// (outboxes, horizons, pool batches) is preallocated, not per-tick.
+		{"Baseline/shards=4", secmem.Options{}, 4},
+		{"SHM/shards=4", secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true,
+		}, 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := steadyState(t, tc.opts)
+			s := steadyState(t, tc.opts, tc.shards)
 			allocs := testing.AllocsPerRun(5000, func() {
 				s.tickOnce(s.cycle)
 				s.cycle++

@@ -71,6 +71,17 @@ type Config struct {
 	// after defaults are applied — the hook ablation studies use to sweep
 	// tracker counts, metadata-cache sizes, timeouts, etc.
 	MEETune func(*secmem.Config)
+	// ParallelShards, when positive, runs each tick's work sharded across
+	// a fixed worker pool: SM clusters on one axis, {L2 banks + MEE + DRAM
+	// channel} partition stacks on the other, with a deterministic
+	// double-buffered queue exchange between phases (see parallel.go).
+	// Results are byte-identical to the sequential loop. 0 (the default)
+	// keeps the single-goroutine loop. Designs that route metadata across
+	// partitions (Options.Enabled without LocalMetadata) and runs with the
+	// runtime sanitizer armed fall back to sequential execution, as does
+	// XbarLatency 0 (the exchange relies on responses maturing strictly
+	// after the tick that produced them).
+	ParallelShards int
 }
 
 // DefaultConfig returns the paper's baseline GPU (Table V), with a device
@@ -115,6 +126,9 @@ func (c Config) Validate() error {
 	}
 	if c.XbarQueueDepth <= 0 {
 		return fmt.Errorf("gpu: XbarQueueDepth must be positive")
+	}
+	if c.ParallelShards < 0 {
+		return fmt.Errorf("gpu: ParallelShards must be non-negative, got %d", c.ParallelShards)
 	}
 	return c.DRAM.Validate()
 }

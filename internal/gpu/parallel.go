@@ -1,0 +1,493 @@
+package gpu
+
+// The sharded parallel tick engine: Config.ParallelShards > 0 partitions
+// each tick's work across a fixed worker pool while keeping results
+// byte-identical to the sequential loop in system.go.
+//
+// # Shard topology
+//
+// The per-tick work splits on two axes into 2*S tasks for S shards:
+//
+//   - SM shards: contiguous SM index ranges. An SM's issue stage touches
+//     only SM-local state (warps, L1, its own miss queue) and its fill
+//     stage only its own L1/waiters, so SMs are embarrassingly parallel
+//     once crossbar admission is taken out of the tick (see below).
+//   - Partition shards: contiguous ranges of {2 L2 banks + MEE + DRAM
+//     channel} partition stacks. Under the locality gate (below) a
+//     partition's phases 2-5 form a closed system: requests arrive only
+//     through its own toPart queue and leave only as buffered responses.
+//
+// # Barrier protocol (two-phase, per tick)
+//
+// Phase 1 (sequential): the telemetry sample boundary, the workload's
+// frontier freeze (TickSynced), every SM's crossbar drain in SM order
+// (admission depth depends on earlier SMs' same-tick drains, so it cannot
+// shard), and freezing the matured prefix of the response ring.
+//
+// Phase 2 (forked): the 2*S shard tasks run on the pool. Each task
+// computes against the previous phase's frozen queues; responses go to
+// per-partition outboxes instead of the shared response ring, and probe
+// events go to per-partition/per-shard telemetry buffers, so no shared
+// state is written concurrently.
+//
+// Phase 3 (sequential, the deterministic exchange): matured responses are
+// popped, outboxes are appended in fixed (phase-major, partition-
+// ascending) order — the exact push order of the sequential loop — shard
+// telemetry buffers are replayed in the same fixed order, and the
+// shard-local event horizons are reduced to the global fast-forward jump.
+//
+// Because every cross-shard interaction happens in the sequential phases
+// in a fixed order, message arrival order is independent of goroutine
+// scheduling, which is the whole determinism argument.
+//
+// # Locality gate
+//
+// startParallel falls back to the sequential loop (engine not built) when
+// the design routes metadata across partitions (opts.Enabled without
+// LocalMetadata: sendMeta then targets foreign partitions mid-phase),
+// when the runtime sanitizer is armed (invariant.Failf's handler is not
+// safe to call from worker goroutines), or when XbarLatency is 0 (the
+// frozen matured prefix relies on responses maturing strictly after the
+// tick that pushed them).
+
+import (
+	"shmgpu/internal/invariant"
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/pool"
+	"shmgpu/internal/secmem"
+	"shmgpu/internal/telemetry"
+)
+
+// Capture lanes: the within-tick phase a partition's captured telemetry
+// events were emitted in. Replaying lane-major, partition-ascending
+// reproduces the sequential loop's emission order (which runs each phase
+// across all partitions before the next phase).
+const (
+	laneDelivery = iota // phase 2: crossbar → L2 enqueue
+	laneBank            // phase 3: L2 bank ticks
+	laneMEE             // phase 4: MEE ticks + L2 fills
+	laneDRAM            // phase 5: DRAM ticks + MEE completions
+	numPhaseLanes
+)
+
+// parEngine is the sharded tick engine for one System.
+type parEngine struct {
+	sys    *System
+	pool   *pool.Pool
+	shards int
+
+	// smLo/smHi and partLo/partHi are the contiguous [lo,hi) index ranges
+	// owned by each shard (possibly empty when shards exceed units).
+	smLo, smHi     []int
+	partLo, partHi []int
+
+	// tasks are the 2*shards prebuilt closures handed to the pool every
+	// tick: partition tasks first, then SM tasks (order is irrelevant —
+	// they are mutually independent within a tick).
+	tasks []func()
+	// now is the cycle being ticked, published to the tasks before the
+	// fork (the pool's channel handoff orders it).
+	now uint64
+	// matured is the frozen count of response-ring entries due this tick.
+	matured int
+
+	// outbox3/outbox4 buffer the tick's L2 read responses per partition:
+	// outbox3 from the bank tick phase, outbox4 from the MEE fill phase.
+	// The exchange appends them to the shared response ring in the
+	// sequential loop's push order (all phase-3 partitions ascending, then
+	// all phase-4). respond3/respond4 are the prebuilt per-partition
+	// closures the bank/MEE phases emit through.
+	outbox3, outbox4 [][]respEntry
+	respond3         []func(memdef.Request, uint64)
+	respond4         []func(memdef.Request, uint64)
+
+	// partProbes (per partition) and smProbes (per SM shard) buffer
+	// telemetry when a collector is attached; nil otherwise.
+	partProbes []*telemetry.ShardProbe
+	smProbes   []*telemetry.ShardProbe
+
+	// horizons collects each task's shard-local next-event cycle; the
+	// reduction caches the global horizon for nextEventCycle.
+	horizons   []uint64
+	horizonFor uint64
+	horizonMin uint64
+	horizonOK  bool
+}
+
+// shardRanges splits n units into s contiguous [lo,hi) ranges.
+func shardRanges(n, s int) (lo, hi []int) {
+	lo = make([]int, s)
+	hi = make([]int, s)
+	for i := 0; i < s; i++ {
+		lo[i] = i * n / s
+		hi[i] = (i + 1) * n / s
+	}
+	return lo, hi
+}
+
+// startParallel builds the shard engine when the configuration asks for
+// and permits it (see the locality gate above). Idempotent; called by Run
+// and directly by tests that drive tickOnce.
+func (s *System) startParallel() {
+	if s.par != nil || s.cfg.ParallelShards <= 0 {
+		return
+	}
+	if s.cfg.XbarLatency < 1 {
+		return
+	}
+	if s.opts.Enabled && !s.opts.LocalMetadata {
+		return
+	}
+	if invariant.Enabled() {
+		return
+	}
+	s.par = newParEngine(s)
+}
+
+// stopParallel tears the engine down: pool workers exit and component
+// probes are restored to the collector.
+func (s *System) stopParallel() {
+	if s.par == nil {
+		return
+	}
+	s.par.pool.Close()
+	s.par = nil
+	s.AttachTelemetry(s.tele)
+}
+
+func newParEngine(s *System) *parEngine {
+	e := &parEngine{sys: s, shards: s.cfg.ParallelShards}
+	e.pool = pool.New(2 * e.shards)
+	e.smLo, e.smHi = shardRanges(len(s.sms), e.shards)
+	e.partLo, e.partHi = shardRanges(s.cfg.Partitions, e.shards)
+
+	parts := s.cfg.Partitions
+	e.outbox3 = make([][]respEntry, parts)
+	e.outbox4 = make([][]respEntry, parts)
+	e.respond3 = make([]func(memdef.Request, uint64), parts)
+	e.respond4 = make([]func(memdef.Request, uint64), parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		e.respond3[p] = func(r memdef.Request, now uint64) {
+			if r.SM < 0 {
+				return
+			}
+			e.outbox3[p] = append(e.outbox3[p], respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
+		}
+		e.respond4[p] = func(r memdef.Request, now uint64) {
+			if r.SM < 0 {
+				return
+			}
+			e.outbox4[p] = append(e.outbox4[p], respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
+		}
+	}
+
+	if s.tele != nil {
+		capture := s.tele.Config().CaptureEvents
+		e.partProbes = make([]*telemetry.ShardProbe, parts)
+		for p := range e.partProbes {
+			e.partProbes[p] = telemetry.NewShardProbe(numPhaseLanes, capture)
+		}
+		e.smProbes = make([]*telemetry.ShardProbe, e.shards)
+		for k := range e.smProbes {
+			e.smProbes[k] = telemetry.NewShardProbe(1, capture)
+		}
+		e.installProbes()
+	}
+
+	e.horizons = make([]uint64, 2*e.shards)
+	e.tasks = make([]func(), 0, 2*e.shards)
+	for k := 0; k < e.shards; k++ {
+		k := k
+		e.tasks = append(e.tasks, func() { e.partTask(k) })
+	}
+	for k := 0; k < e.shards; k++ {
+		k := k
+		e.tasks = append(e.tasks, func() { e.smTask(k) })
+	}
+	return e
+}
+
+// installProbes points every component at its shard buffer (stopParallel
+// restores the collector via AttachTelemetry).
+func (e *parEngine) installProbes() {
+	s := e.sys
+	for k := 0; k < e.shards; k++ {
+		for i := e.smLo[k]; i < e.smHi[k]; i++ {
+			s.sms[i].probe = e.smProbes[k]
+		}
+	}
+	for p := range e.partProbes {
+		probe := telemetry.Probe(e.partProbes[p])
+		for _, b := range s.l2[p] {
+			b.probe = probe
+		}
+		s.channels[p].SetProbe(probe, p)
+		s.mees[p].SetProbe(probe)
+	}
+}
+
+// flushCounters folds every shard buffer's counters and histograms into
+// the collector (commutative, so shard order is irrelevant). Must run
+// before the collector stamps counters: at sample boundaries and before
+// FinishRun.
+func (e *parEngine) flushCounters() {
+	for _, sp := range e.smProbes {
+		e.sys.tele.AbsorbCounts(sp)
+	}
+	for _, sp := range e.partProbes {
+		e.sys.tele.AbsorbCounts(sp)
+	}
+}
+
+// tick is the parallel tickOnce. See the file comment for the protocol.
+func (e *parEngine) tick(now uint64) {
+	s := e.sys
+
+	// --- Phase 1: sequential pre-phase ---
+	if s.tele != nil {
+		if at := s.tele.NextSampleAt(); at != ^uint64(0) && now >= at {
+			e.flushCounters()
+		}
+		s.tele.MaybeSample(now, s.snapshot)
+	}
+	s.tickNow = now
+
+	// Crossbar admission in SM order: each drain sees the partition queue
+	// depths left by earlier SMs' drains, exactly as the sequential loop
+	// interleaves them (issue never touches the crossbar, so hoisting the
+	// drains out of sm.tick is exact).
+	for _, sm := range s.sms {
+		sm.drainMisses(s.acceptFn)
+	}
+
+	// Freeze the matured response prefix. Responses pushed this tick
+	// mature at now+XbarLatency >= now+1 (the gate requires latency >= 1),
+	// so the frozen prefix equals what the sequential loop's phase 6 would
+	// see after phases 2-5.
+	e.matured = 0
+	for e.matured < s.toSM.Len() && s.toSM.At(e.matured).at <= now {
+		e.matured++
+	}
+	e.now = now
+	e.horizonOK = false
+
+	// --- Phase 2: forked shard tasks ---
+	e.pool.Run(e.tasks)
+
+	// --- Phase 3: deterministic exchange ---
+	for i := 0; i < e.matured; i++ {
+		s.toSM.PopFront()
+	}
+	for p := range e.outbox3 {
+		for _, r := range e.outbox3[p] {
+			s.toSM.Push(r)
+		}
+		e.outbox3[p] = e.outbox3[p][:0]
+	}
+	for p := range e.outbox4 {
+		for _, r := range e.outbox4[p] {
+			s.toSM.Push(r)
+		}
+		e.outbox4[p] = e.outbox4[p][:0]
+	}
+	if s.tele != nil {
+		e.replayCaptures()
+	}
+	if !s.cfg.DisableFastForward {
+		e.reduceHorizon(now)
+	}
+}
+
+// smTask runs shard k's SMs: the issue stage, then delivery of the tick's
+// matured fills to owned SMs. Issue precedes fills per SM exactly as
+// phases 1 and 6 order them sequentially; fills for one SM are applied in
+// ring order (L1 LRU state makes that order load-bearing), and fills
+// never touch other SMs or emit probe events.
+func (e *parEngine) smTask(k int) {
+	s := e.sys
+	now := e.now
+	lo, hi := e.smLo[k], e.smHi[k]
+	for i := lo; i < hi; i++ {
+		s.sms[i].issueTick(now)
+	}
+	for j := 0; j < e.matured; j++ {
+		en := s.toSM.At(j)
+		if en.sm >= lo && en.sm < hi {
+			s.sms[en.sm].onFill(en.phys, now)
+		}
+	}
+	if s.cfg.DisableFastForward {
+		e.horizons[e.shards+k] = ^uint64(0)
+		return
+	}
+	next := ^uint64(0)
+	for i := lo; i < hi; i++ {
+		if v := s.sms[i].nextEvent(now); v < next {
+			next = v
+		}
+	}
+	e.horizons[e.shards+k] = next
+}
+
+// partTask runs shard k's partition stacks through phases 2-5. Running
+// one partition's phases back to back (instead of phase-major across all
+// partitions) is equivalent because, under the locality gate, partitions
+// interact only through the buffered outboxes and their own queues.
+func (e *parEngine) partTask(k int) {
+	s := e.sys
+	now := e.now
+	ff := !s.cfg.DisableFastForward
+	next := ^uint64(0)
+	for p := e.partLo[k]; p < e.partHi[k]; p++ {
+		var probe *telemetry.ShardProbe
+		if e.partProbes != nil {
+			probe = e.partProbes[p]
+		}
+
+		// Phase 2: crossbar delivers matured requests, with the same
+		// intentional head-of-line blocking as the sequential loop.
+		if probe != nil {
+			probe.SetLane(laneDelivery)
+		}
+		q := &s.toPart[p]
+		for q.Len() > 0 && q.Front().at <= now {
+			front := q.Front()
+			bank := s.l2[p][s.bankOf(front.r.Local)]
+			if !bank.enqueue(front.r, now) {
+				break
+			}
+			q.PopFront()
+		}
+
+		// Phase 3: L2 banks process requests, forwarding misses to the MEE.
+		if probe != nil {
+			probe.SetLane(laneBank)
+		}
+		mee := s.mees[p]
+		for _, bank := range s.l2[p] {
+			bank.tick(now, mee, e.respond3[p])
+		}
+
+		// Phase 4: the MEE advances; completed reads fill the L2 banks.
+		if probe != nil {
+			probe.SetLane(laneMEE)
+		}
+		for _, r := range mee.Tick(now) {
+			s.l2[p][s.bankOf(r.Local)].onFill(r.Local, now, mee, e.respond4[p])
+		}
+
+		// Phase 5: the DRAM channel advances; completions return to the
+		// owning MEE — which the locality gate guarantees is this
+		// partition's (foreign owners only arise from cross-partition
+		// metadata routing, which disables the engine).
+		if probe != nil {
+			probe.SetLane(laneDRAM)
+		}
+		for _, done := range s.channels[p].Tick(now) {
+			owner := secmem.TokenOwner(done.Token)
+			if owner != p {
+				panic("gpu: cross-partition DRAM completion under the parallel engine's locality gate")
+			}
+			s.mees[owner].OnDRAMComplete(done.Token, now)
+		}
+
+		if ff {
+			if q.Len() > 0 {
+				v := q.Front().at
+				if v < now+1 {
+					v = now + 1
+				}
+				if v < next {
+					next = v
+				}
+			}
+			for _, b := range s.l2[p] {
+				if v := b.nextEvent(now); v < next {
+					next = v
+				}
+			}
+			if v := mee.NextEvent(now); v < next {
+				next = v
+			}
+			if v := s.channels[p].NextEvent(now); v < next {
+				next = v
+			}
+		}
+	}
+	if !ff {
+		next = ^uint64(0)
+	}
+	e.horizons[k] = next
+}
+
+// replayCaptures appends the tick's buffered capture-worthy events to the
+// collector's trace in the sequential loop's emission order: SM shards
+// first (phase 1 precedes the partition phases; SM kinds are not
+// currently capture-worthy, so this is future-proofing), then lane-major,
+// partition-ascending. Counters are left in the shard buffers until the
+// next sample boundary.
+func (e *parEngine) replayCaptures() {
+	any := false
+	for _, sp := range e.smProbes {
+		if sp.HasCaptures() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		for _, sp := range e.partProbes {
+			if sp.HasCaptures() {
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	c := e.sys.tele
+	for _, sp := range e.smProbes {
+		c.AbsorbLane(sp, 0)
+	}
+	for lane := 0; lane < numPhaseLanes; lane++ {
+		for _, sp := range e.partProbes {
+			c.AbsorbLane(sp, lane)
+		}
+	}
+}
+
+// reduceHorizon folds the shard-local horizons, the response ring's front
+// and the sampler's next due cycle into the global event horizon, cached
+// for nextEventCycle (which advanceCycle calls right after the tick).
+func (e *parEngine) reduceHorizon(now uint64) {
+	s := e.sys
+	next := ^uint64(0)
+	for _, h := range e.horizons {
+		if h < next {
+			next = h
+		}
+	}
+	if s.toSM.Len() > 0 {
+		v := s.toSM.Front().at
+		if v < now+1 {
+			v = now + 1
+		}
+		if v < next {
+			next = v
+		}
+	}
+	if s.tele != nil {
+		if at := s.tele.NextSampleAt(); at != ^uint64(0) && at < next {
+			if at < now+1 {
+				at = now + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	e.horizonFor = now
+	e.horizonMin = next
+	e.horizonOK = true
+}

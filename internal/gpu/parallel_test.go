@@ -1,0 +1,131 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+
+	"shmgpu/internal/invariant"
+	"shmgpu/internal/secmem"
+)
+
+func TestShardRanges(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{
+		{4, 1}, {4, 2}, {4, 4}, {4, 8}, {12, 3}, {12, 5}, {30, 8}, {1, 4},
+	} {
+		lo, hi := shardRanges(tc.n, tc.s)
+		if len(lo) != tc.s || len(hi) != tc.s {
+			t.Fatalf("shardRanges(%d,%d): %d ranges", tc.n, tc.s, len(lo))
+		}
+		covered := 0
+		for k := 0; k < tc.s; k++ {
+			if lo[k] > hi[k] {
+				t.Fatalf("shardRanges(%d,%d): shard %d inverted [%d,%d)", tc.n, tc.s, k, lo[k], hi[k])
+			}
+			if k > 0 && lo[k] != hi[k-1] {
+				t.Fatalf("shardRanges(%d,%d): gap between shard %d and %d", tc.n, tc.s, k-1, k)
+			}
+			covered += hi[k] - lo[k]
+		}
+		if lo[0] != 0 || hi[tc.s-1] != tc.n || covered != tc.n {
+			t.Fatalf("shardRanges(%d,%d): covers %d units, lo=%v hi=%v", tc.n, tc.s, covered, lo, hi)
+		}
+	}
+}
+
+// parHarness builds a mid-launch system driving the fixedWorkload, with the
+// parallel engine started when shards > 0.
+func parHarness(t *testing.T, opts secmem.Options, shards int) *System {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.ParallelShards = shards
+	wl := &fixedWorkload{bufBytes: 40 << 20, compute: 4, insts: 2_000}
+	s := NewSystem(cfg, opts)
+	s.applySetup(0, wl.Setup(0))
+	for _, sm := range s.sms {
+		sm.launch(0, wl)
+	}
+	s.startParallel()
+	t.Cleanup(s.stopParallel)
+	return s
+}
+
+// TestParallelTickLockstep drives a sequential and a sharded system through
+// the same cycles and compares the crossbar response ring after every tick:
+// identical entries in identical order is exactly the deterministic-exchange
+// guarantee (outboxes appended in the sequential loop's push order), and
+// any divergence pinpoints the first cycle where the shard engine's
+// interleaving differs from the reference.
+func TestParallelTickLockstep(t *testing.T) {
+	opts := map[string]secmem.Options{
+		"Baseline": {},
+		"PSSM":     {Enabled: true, LocalMetadata: true, SectoredMetadata: true},
+		"SHM": {Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true},
+	}
+	for name, o := range opts {
+		// 3 shards over 4 SMs and 12 partitions exercises uneven ranges;
+		// 8 shards over 4 SMs exercises empty SM shards.
+		for _, shards := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				seq := parHarness(t, o, 0)
+				par := parHarness(t, o, shards)
+				if par.par == nil {
+					t.Fatal("parallel engine did not start")
+				}
+				for now := uint64(0); now < 4000; now++ {
+					seq.tickOnce(now)
+					par.tickOnce(now)
+					if seq.toSM.Len() != par.toSM.Len() {
+						t.Fatalf("cycle %d: response ring length %d (seq) vs %d (par)",
+							now, seq.toSM.Len(), par.toSM.Len())
+					}
+					for i := 0; i < seq.toSM.Len(); i++ {
+						if *seq.toSM.At(i) != *par.toSM.At(i) {
+							t.Fatalf("cycle %d: response ring entry %d diverges: %+v (seq) vs %+v (par)",
+								now, i, *seq.toSM.At(i), *par.toSM.At(i))
+						}
+					}
+				}
+				if seq.smsFinished() != par.smsFinished() {
+					t.Fatalf("completion state diverges: seq=%v par=%v", seq.smsFinished(), par.smsFinished())
+				}
+			})
+		}
+	}
+}
+
+// TestParallelGateFallsBackSequential pins the locality gate: configurations
+// the engine cannot run deterministically (or safely) must silently use the
+// sequential loop.
+func TestParallelGateFallsBackSequential(t *testing.T) {
+	t.Run("non-local metadata", func(t *testing.T) {
+		s := parHarness(t, secmem.Options{Enabled: true}, 4) // Naive routes metadata across partitions
+		if s.par != nil {
+			t.Fatal("engine started despite cross-partition metadata routing")
+		}
+	})
+	t.Run("sanitizer armed", func(t *testing.T) {
+		invariant.SetEnabled(true)
+		defer invariant.SetEnabled(false)
+		s := parHarness(t, secmem.Options{}, 4)
+		if s.par != nil {
+			t.Fatal("engine started with the invariant sanitizer armed")
+		}
+	})
+	t.Run("zero crossbar latency", func(t *testing.T) {
+		cfg := smallConfig()
+		cfg.XbarLatency = 0
+		cfg.ParallelShards = 4
+		s := NewSystem(cfg, secmem.Options{})
+		s.startParallel()
+		if s.par != nil {
+			t.Fatal("engine started with XbarLatency 0")
+		}
+	})
+	t.Run("sequential default", func(t *testing.T) {
+		s := parHarness(t, secmem.Options{}, 0)
+		if s.par != nil {
+			t.Fatal("engine started with ParallelShards 0")
+		}
+	})
+}

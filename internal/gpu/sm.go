@@ -144,15 +144,28 @@ func (s *SM) finished() bool {
 
 // tick issues at most one instruction and retries queued L1 misses.
 // Sector requests that need the crossbar are appended to out (bounded by
-// the caller's acceptance).
+// the caller's acceptance). The two halves are split so the parallel
+// engine can run the crossbar drains sequentially (admission depends on
+// other SMs' same-tick drains) and the issue stage per-shard (issue only
+// touches SM-local state; it never calls accept).
 func (s *SM) tick(now uint64, accept func(smRequest) bool) {
-	// Drain the miss queue first: older requests have priority.
+	s.drainMisses(accept)
+	s.issueTick(now)
+}
+
+// drainMisses retries queued L1 misses against the crossbar: older
+// requests have priority.
+func (s *SM) drainMisses(accept func(smRequest) bool) {
 	for s.missQueue.Len() > 0 {
 		if !accept(*s.missQueue.Front()) {
 			break
 		}
 		s.missQueue.PopFront()
 	}
+}
+
+// issueTick issues at most one instruction from the SM's warps.
+func (s *SM) issueTick(now uint64) {
 	if s.missQueue.Len() > 32 {
 		s.stallProbe(now)
 		return // throttle issue until the queue drains

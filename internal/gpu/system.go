@@ -113,6 +113,13 @@ type System struct {
 
 	// tele, when non-nil, collects probe events and timeline samples.
 	tele *telemetry.Collector
+
+	// syncer, when non-nil, is notified at the top of every tick so the
+	// workload can freeze its cross-warp pacing state (see TickSynced).
+	syncer TickSynced
+	// par, when non-nil, is the sharded parallel tick engine (parallel.go);
+	// tickOnce and nextEventCycle dispatch to it.
+	par *parEngine
 }
 
 // AttachTelemetry installs a collector on every component's probe point.
@@ -250,11 +257,25 @@ type GridAware interface {
 	SetGrid(sms, warpsPerSM int)
 }
 
+// TickSynced is an optional Workload extension: the system calls SyncTick
+// once at the top of every tick (in both the sequential and the sharded
+// loop), letting the workload freeze cross-warp state — e.g. the pacing
+// frontier — so that warp programs observe a per-tick snapshot instead of
+// other warps' same-tick progress. Required for workloads whose programs
+// share state, since the parallel engine ticks SMs concurrently.
+type TickSynced interface {
+	SyncTick()
+}
+
 // Run simulates the whole workload and returns the results.
 func (s *System) Run(wl Workload) Result {
 	if ga, ok := wl.(GridAware); ok {
 		ga.SetGrid(s.cfg.SMs, s.cfg.WarpsPerSM)
 	}
+	if ts, ok := wl.(TickSynced); ok {
+		s.syncer = ts
+	}
+	s.startParallel()
 	completed := true
 	for k := 0; k < wl.Kernels(); k++ {
 		s.applySetup(k, wl.Setup(k))
@@ -285,7 +306,10 @@ func (s *System) Run(wl Workload) Result {
 			}
 		}
 	}
-	return s.collect(wl.Name(), completed)
+	res := s.collect(wl.Name(), completed)
+	s.stopParallel()
+	s.syncer = nil
+	return res
 }
 
 // runKernel drives the cycle loop until all warps finish and the memory
@@ -409,6 +433,11 @@ func (s *System) advanceCycle(now, deadline uint64) uint64 {
 // cycle (samples must be taken at exactly the cycles an every-cycle run
 // would take them). now+1 short-circuits — nothing can be earlier.
 func (s *System) nextEventCycle(now uint64) uint64 {
+	// The parallel engine reduces the shard-local horizons during the tick
+	// itself; advanceCycle asks right afterwards, so the cache is hot.
+	if s.par != nil && s.par.horizonOK && s.par.horizonFor == now {
+		return s.par.horizonMin
+	}
 	next := ^uint64(0)
 	for _, sm := range s.sms {
 		if v := sm.nextEvent(now); v < next {
@@ -529,6 +558,13 @@ func (s *System) acceptRequest(r smRequest) bool {
 }
 
 func (s *System) tickOnce(now uint64) {
+	if s.syncer != nil {
+		s.syncer.SyncTick()
+	}
+	if s.par != nil {
+		s.par.tick(now)
+		return
+	}
 	if s.tele != nil {
 		s.tele.MaybeSample(now, s.snapshot)
 	}
@@ -643,6 +679,11 @@ func (s *System) drained() bool {
 
 func (s *System) collect(workload string, completed bool) Result {
 	if s.tele != nil {
+		if s.par != nil {
+			// Shard counter buffers must fold into the collector before the
+			// terminal sample stamps the counter array.
+			s.par.flushCounters()
+		}
 		s.tele.FinishRun(s.cycle, s.snapshot)
 	}
 	res := Result{Workload: workload, Cycles: s.cycle, Completed: completed}

@@ -152,32 +152,90 @@ type Bench struct {
 	frontierKernel int
 }
 
-// frontierState keeps a histogram of registered warps' progress through
-// their memory-instruction streams, giving O(1) access to the slowest
-// warp's step so warps can be paced to a bounded frontier.
+// frontierState keeps per-SM histograms ("lanes") of registered warps'
+// progress through their memory-instruction streams. The slowest step
+// across lanes is frozen once per tick (syncTick) and every warp paces
+// against that frozen value, so the pacing decision is identical whether
+// the SMs tick sequentially or sharded across goroutines: a warp's lane
+// is only ever advanced from its own SM's tick, and reads go through the
+// tick-start snapshot. (The previous design advanced one shared histogram
+// mid-tick, making later SMs observe earlier SMs' same-tick progress —
+// an order dependence the parallel engine cannot reproduce.)
 type frontierState struct {
+	lanes  []frontierLane
+	frozen int
+	// synced flips on the first syncTick. Inside a simulation the system
+	// syncs every tick, so Min always reads the frozen snapshot; warps
+	// driven standalone (unit tests, corpus generators) never sync and get
+	// the live minimum instead — without the fallback a lone warp would
+	// pace against a permanently stale frontier and stall forever.
+	synced bool
+}
+
+// frontierLane is one SM's progress histogram, padded so lanes written
+// concurrently by different shard workers do not share cache lines.
+type frontierLane struct {
 	counts []int
 	min    int
+	warps  int
+	_      [64 - 24 - 8 - 8]byte
 }
 
-func newFrontierState(steps int) *frontierState {
-	return &frontierState{counts: make([]int, steps+1)}
+func newFrontierState(steps, lanes int) *frontierState {
+	f := &frontierState{lanes: make([]frontierLane, lanes)}
+	for i := range f.lanes {
+		f.lanes[i].counts = make([]int, steps+1)
+	}
+	return f
 }
 
-// register adds a warp at step 0.
-func (f *frontierState) register() { f.counts[0]++ }
+// register adds a warp at step 0 of the given lane (its SM).
+func (f *frontierState) register(lane int) {
+	f.lanes[lane].counts[0]++
+	f.lanes[lane].warps++
+}
 
-// advance moves one warp from step to step+1.
-func (f *frontierState) advance(step int) {
-	f.counts[step]--
-	f.counts[step+1]++
-	for f.min < len(f.counts)-1 && f.counts[f.min] == 0 {
-		f.min++
+// advance moves one of lane's warps from step to step+1.
+func (f *frontierState) advance(lane, step int) {
+	l := &f.lanes[lane]
+	l.counts[step]--
+	l.counts[step+1]++
+	for l.min < len(l.counts)-1 && l.counts[l.min] == 0 {
+		l.min++
 	}
 }
 
-// Min returns the slowest registered warp's step.
-func (f *frontierState) Min() int { return f.min }
+// syncTick freezes the cross-lane minimum for the coming tick.
+func (f *frontierState) syncTick() {
+	f.synced = true
+	f.frozen = f.liveMin()
+}
+
+// liveMin computes the slowest registered warp's step right now.
+func (f *frontierState) liveMin() int {
+	min := -1
+	for i := range f.lanes {
+		if f.lanes[i].warps == 0 {
+			continue
+		}
+		if min < 0 || f.lanes[i].min < min {
+			min = f.lanes[i].min
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// Min returns the slowest registered warp's step: the frozen tick-start
+// snapshot once syncTick has ever run, the live value before then.
+func (f *frontierState) Min() int {
+	if f.synced {
+		return f.frozen
+	}
+	return f.liveMin()
+}
 
 // New lays out the spec's buffers (region-aligned, consecutive) and returns
 // the runnable benchmark.
@@ -294,20 +352,32 @@ func (b *Bench) Setup(k int) gpu.KernelSetup {
 	return setup
 }
 
+// SyncTick implements gpu.TickSynced: the system calls it once at the top
+// of every tick to freeze the pacing frontier the coming tick's warps
+// read. Required for order-independence under the sharded parallel
+// engine; the sequential loop calls it too so both modes share one
+// pacing semantics (and stay byte-identical).
+func (b *Bench) SyncTick() {
+	if b.frontier != nil {
+		b.frontier.syncTick()
+	}
+}
+
 // NewWarp implements gpu.Workload.
 func (b *Bench) NewWarp(kernel, sm, warp int) gpu.WarpProgram {
 	idx := sm*b.warps + warp
 	total := b.sms * b.warps
 	if b.frontier == nil || b.frontierKernel != kernel {
-		b.frontier = newFrontierState(b.spec.MemInstsPerWarp)
+		b.frontier = newFrontierState(b.spec.MemInstsPerWarp, b.sms)
 		b.frontierKernel = kernel
 	}
-	b.frontier.register()
+	b.frontier.register(sm)
 	seed := b.spec.Seed*1_000_003 + int64(kernel)*131_071 + int64(idx)
 	p := &program{
 		bench:   b,
 		rng:     rand.New(rand.NewSource(seed)),
 		warpIdx: idx,
+		lane:    sm,
 		total:   total,
 		cursors: make([]memdef.Addr, len(b.buffers)),
 	}

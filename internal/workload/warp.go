@@ -12,6 +12,10 @@ type program struct {
 	bench   *Bench
 	rng     *rand.Rand
 	warpIdx int
+	// lane is the warp's SM index: the frontier lane it advances. Only the
+	// owning SM's tick calls Next, so lane writes are single-writer even
+	// when SMs tick on different shard workers.
+	lane    int
 	total   int
 	cursors []memdef.Addr // per-buffer streaming cursor (buffer-relative)
 	issued  int
@@ -22,8 +26,8 @@ func (p *program) Next() (int, gpu.MemInst, bool) {
 	if p.issued >= p.bench.spec.MemInstsPerWarp {
 		return 0, gpu.MemInst{}, true
 	}
-	// Frontier pacing: stay within the window of the slowest warp,
-	// modeling in-order tile dispatch.
+	// Frontier pacing: stay within the window of the slowest warp (as of
+	// the tick-start frontier snapshot), modeling in-order tile dispatch.
 	window := p.bench.spec.FrontierWindow
 	if window <= 0 {
 		window = 1
@@ -33,7 +37,7 @@ func (p *program) Next() (int, gpu.MemInst, bool) {
 	}
 	slot := p.issued % len(p.bench.schedule)
 	p.issued++
-	p.bench.frontier.advance(p.issued - 1)
+	p.bench.frontier.advance(p.lane, p.issued-1)
 
 	// Buffer choice and write position come from the shared deterministic
 	// schedule: every warp runs the same kernel code, so the i-th memory

@@ -307,19 +307,39 @@ func TestWriteSlotsMatchWriteFrac(t *testing.T) {
 }
 
 func TestFrontierStateOrdering(t *testing.T) {
-	f := newFrontierState(10)
-	f.register()
-	f.register()
+	f := newFrontierState(10, 2)
+	f.register(0)
+	f.register(1)
+	f.syncTick()
 	if f.Min() != 0 {
 		t.Fatalf("initial min = %d", f.Min())
 	}
-	f.advance(0) // one warp to step 1
+	f.advance(0, 0) // lane 0's warp to step 1
+	f.syncTick()
 	if f.Min() != 0 {
 		t.Fatalf("min moved early: %d", f.Min())
 	}
-	f.advance(0) // second warp to step 1
+	f.advance(1, 0) // lane 1's warp to step 1
+	f.syncTick()
 	if f.Min() != 1 {
 		t.Fatalf("min = %d, want 1", f.Min())
+	}
+}
+
+func TestFrontierMinIsFrozenUntilSync(t *testing.T) {
+	// Advances after a syncTick must not be visible to Min() until the
+	// next syncTick: warps pace against a per-tick snapshot, which is what
+	// makes pacing independent of same-tick execution order.
+	f := newFrontierState(10, 1)
+	f.register(0)
+	f.syncTick()
+	f.advance(0, 0)
+	if f.Min() != 0 {
+		t.Fatalf("mid-tick advance leaked into Min: %d", f.Min())
+	}
+	f.syncTick()
+	if f.Min() != 1 {
+		t.Fatalf("min after sync = %d, want 1", f.Min())
 	}
 }
 

@@ -1,0 +1,69 @@
+package shmgpu_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// runShards executes one (workload, scheme, seed) cell under the sharded
+// parallel engine (shards > 0) or the sequential reference (shards = 0),
+// with fast-forward on or off, and returns the full artifact set.
+func runShards(t *testing.T, workload, scheme string, seed int64, shards int, disableFF bool) ffArtifacts {
+	t.Helper()
+	return runCell(t, workload, scheme, seed, shards, disableFF)
+}
+
+// TestParallelMatchesSequential is the shard-engine equivalence gate: over
+// a corpus of (workload, scheme, seed) cells crossed with shard counts and
+// both fast-forward modes, a sharded run must be indistinguishable from
+// the sequential reference — identical Result fields, an identical
+// stats-registry snapshot, and a byte-identical telemetry JSONL stream.
+// The corpus includes a scheme with cross-partition metadata
+// (Common_ctr), which the locality gate must silently run sequentially —
+// equality there pins the fallback path. The CI race job runs this test
+// under -race, which is what turns "byte-identical" into "and no data
+// races reached the detector either".
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus of full simulations; skipped in -short")
+	}
+	cells := []struct {
+		workload string
+		scheme   string
+		seed     int64
+		shards   []int
+	}{
+		// Schemes chosen as in TestFastForwardMatchesEveryCycle: no MEE,
+		// full SHM machinery, RO-counter transitions, and the non-local
+		// metadata mapping that exercises the sequential-fallback gate.
+		{"atax", "Baseline", 1, []int{1, 2, 4, 8}},
+		{"atax", "SHM", 1, []int{2, 4, 8}},
+		{"bfs", "SHM", 2, []int{2}},
+		{"fdtd2d", "SHM_readOnly", 3, []int{4}},
+		{"mvt", "Common_ctr", 4, []int{4}},
+	}
+	for _, c := range cells {
+		for _, disableFF := range []bool{false, true} {
+			// One sequential reference per (cell, fast-forward mode) serves
+			// every shard count — the reference is deterministic, so rerunning
+			// it per shard count would only burn CI minutes.
+			seq := runShards(t, c.workload, c.scheme, c.seed, 0, disableFF)
+			for _, shards := range c.shards {
+				c, shards, disableFF := c, shards, disableFF
+				t.Run(fmt.Sprintf("%s_%s_seed%d_shards%d_ff%v", c.workload, c.scheme, c.seed, shards, !disableFF), func(t *testing.T) {
+					par := runShards(t, c.workload, c.scheme, c.seed, shards, disableFF)
+					if par.result != seq.result {
+						t.Errorf("Result diverges:\nparallel:   %s\nsequential: %s", par.result, seq.result)
+					}
+					if !bytes.Equal(par.snapshot, seq.snapshot) {
+						t.Errorf("stats snapshots diverge:\nparallel:   %s\nsequential: %s", par.snapshot, seq.snapshot)
+					}
+					if !bytes.Equal(par.jsonl, seq.jsonl) {
+						t.Errorf("telemetry JSONL diverges (%d vs %d bytes)", len(par.jsonl), len(seq.jsonl))
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation section and writes the text reports to stdout and (optionally)
 // a results directory. With the telemetry flags it additionally dumps
-// machine-readable metrics and traces for every simulation run.
+// machine-readable metrics and traces for every simulation run, and with the
+// ops-plane flags it exposes the sweep live: streaming progress records,
+// hierarchical span traces, a stall watchdog, and an embedded HTTP endpoint.
 //
 // Usage:
 //
@@ -13,18 +15,26 @@
 //	paperbench -json                # tables as JSON instead of text
 //	paperbench -metrics-out m/      # per-run Prometheus dumps
 //	paperbench -trace-out t/        # per-run Chrome traces
+//	paperbench -progress -ops-listen :8080     # live sweep observability
+//	paperbench -span-trace sweep.trace.json    # span tree for Perfetto
+//	paperbench -watchdog 30s -watchdog-dir diag/ -watchdog-cancel
 //	paperbench -quick -bench-out BENCH.json        # measure the sweep
 //	paperbench -quick -bench-out BENCH.json -bench-compare BENCH_3.json
+//	paperbench -quick -bench-out BENCH.json -bench-shards 2,4
 //
 // The bench mode runs the Fig. 12 scheme set over the workload list
 // serially, records wall time and allocation counts per (workload, scheme)
 // cell plus the total sweep wall-clock, and writes a perf.Baseline JSON.
 // With -bench-compare it then diffs against a committed baseline:
 // allocs/op is compared on every run (it is deterministic), ns/op only
-// with -bench-time (wall time is machine-dependent).
+// with -bench-time (wall time is machine-dependent). -bench-shards
+// additionally measures every cell under the parallel engine once per
+// listed shard count. Bench cells are measured unobserved — the ops plane
+// is not attached, so allocation counts stay attributable.
 //
 // Exit codes: 0 on success, 1 on output errors, 2 on usage errors, 3 on
-// benchmark regressions.
+// benchmark regressions, 4 when the watchdog declared cells stalled (and
+// -watchdog-cancel let the sweep complete without them).
 package main
 
 import (
@@ -34,11 +44,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"shmgpu/internal/experiments"
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/perf"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
@@ -66,14 +78,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchCompare   = fs.String("bench-compare", "", "committed perf baseline JSON to diff the fresh measurement against")
 		benchTol       = fs.Float64("bench-tolerance", 0.05, "allowed fractional regression before -bench-compare fails")
 		benchTime      = fs.Bool("bench-time", false, "also fail -bench-compare on ns/op regressions (same-machine baselines only)")
+		benchShards    = fs.String("bench-shards", "", "comma-separated shard counts to measure in bench mode alongside the sequential cells (e.g. 2,4)")
 		shards         = fs.Int("shards", 0, "parallel tick shards per run (0 = sequential; results are byte-identical). In bench mode, additionally measures run/<wl>/<scheme>/shards=N cells")
 		workers        = fs.Int("workers", 0, "prefetch worker-pool size for figure sweeps (0 = NumCPU)")
+		quiet          = fs.Bool("q", false, "suppress informational logging (errors still print)")
+		verbose        = fs.Bool("v", false, "verbose logging")
 	)
+	var opsFlags obs.Flags
+	opsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	log := obs.NewLogger(stderr, "paperbench", obs.LevelFromFlags(*quiet, *verbose))
 	if *shards < 0 || *workers < 0 {
-		fmt.Fprintf(stderr, "paperbench: -shards and -workers must be non-negative\n")
+		log.Errorf("-shards and -workers must be non-negative")
 		return 2
 	}
 
@@ -87,41 +105,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, w := range strings.Split(*workloads, ",") {
 			w = strings.TrimSpace(w)
 			if _, err := workload.ByName(w); err != nil {
-				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				log.Errorf("%v", err)
 				return 2
 			}
 			wls = append(wls, w)
 		}
 	}
 	if *benchOut != "" || *benchCompare != "" {
-		return runBench(cfg, *quick, wls, *shards, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, stderr)
+		shardList, err := parseShardList(*benchShards, *shards)
+		if err != nil {
+			log.Errorf("%v", err)
+			return 2
+		}
+		if opsFlags.Enabled() {
+			log.Infof("ops plane is not attached in bench mode (cells are measured unobserved)")
+		}
+		return runBench(cfg, *quick, wls, shardList, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, log)
 	}
 
 	r := experiments.NewRunner(cfg, wls)
 	r.SetWorkers(*workers)
 
-	for _, dir := range []string{*out, *metricsOut, *traceOut} {
+	for _, dir := range []string{*out, *metricsOut, *traceOut, opsFlags.WatchdogDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				log.Errorf("%v", err)
 				return 1
 			}
 		}
 	}
 
-	if *metricsOut != "" || *traceOut != "" {
-		installSink(r, cfg, *quick, *sampleInterval, *metricsOut, *traceOut, stderr)
-	}
-
 	type genFn func() *report.Table
-	gens := []struct {
+	type gen struct {
 		id       string
 		name     string
 		fn       genFn
 		prefetch []scheme.Scheme
 		accuracy bool
 		extra    bool // excluded from -fig all (expensive ablations)
-	}{
+	}
+	gens := []gen{
 		{"5", "fig05_characterization", r.Fig5, []scheme.Scheme{scheme.SHMUpperBound}, false, false},
 		{"10", "fig10_readonly_prediction", r.Fig10, nil, true, false},
 		{"11", "fig11_streaming_prediction", r.Fig11, nil, true, false},
@@ -139,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		{"ablation-mdc", "ablation_mdc_size", r.AblationMDCSize, []scheme.Scheme{scheme.Baseline}, false, true},
 	}
 
-	matched := false
+	var sel []gen
 	for _, g := range gens {
 		if *fig == "all" && g.extra {
 			continue
@@ -147,7 +170,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *fig != "all" && *fig != g.id {
 			continue
 		}
-		matched = true
+		sel = append(sel, g)
+	}
+	if len(sel) == 0 {
+		log.Errorf("unknown figure %q", *fig)
+		return 2
+	}
+
+	// The cell total is a best-effort ETA denominator: the union of the
+	// selected figures' prefetch cells times the workload count. Figures
+	// share cells through the runner's cache, so actually-run cells can
+	// undershoot this; the progress record clamps.
+	wlCount := len(wls)
+	if wlCount == 0 {
+		wlCount = len(workload.MemoryIntensive())
+	}
+	cellKinds := make(map[string]bool)
+	for _, g := range sel {
+		for _, sch := range g.prefetch {
+			cellKinds[sch.Name] = true
+		}
+		if g.accuracy {
+			cellKinds["SHM/acc"] = true
+		}
+	}
+	plane, shutdown, err := opsFlags.Start("paperbench", len(cellKinds)*wlCount, stderr, log)
+	if err != nil {
+		log.Errorf("%v", err)
+		return 1
+	}
+	r.SetOps(plane)
+
+	// The telemetry sink also feeds the live /metrics renderer, so the ops
+	// endpoint implies an instrumented sweep even without dump directories.
+	if *metricsOut != "" || *traceOut != "" || opsFlags.OpsListen != "" {
+		installSink(r, plane, cfg, *quick, *sampleInterval, *metricsOut, *traceOut, log)
+	}
+
+	code := 0
+	for _, g := range sel {
+		log.Debugf("generating %s", g.name)
 		start := time.Now()
 		if len(g.prefetch) > 0 {
 			r.Prefetch(g.prefetch, false)
@@ -160,8 +222,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *jsonOut {
 			buf, err := json.MarshalIndent(table, "", " ")
 			if err != nil {
-				fmt.Fprintf(stderr, "paperbench: %v\n", err)
-				return 1
+				log.Errorf("%v", err)
+				code = 1
+				break
 			}
 			text = string(buf) + "\n"
 			fmt.Fprintln(stdout, text)
@@ -177,23 +240,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			path := filepath.Join(*out, g.name+ext)
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-				fmt.Fprintf(stderr, "paperbench: %v\n", err)
-				return 1
+				log.Errorf("%v", err)
+				code = 1
+				break
 			}
 		}
 	}
-	if !matched {
-		fmt.Fprintf(stderr, "paperbench: unknown figure %q\n", *fig)
-		return 2
+
+	stalled := plane.Stalled()
+	m := telemetry.Manifest{
+		Tool:          "paperbench",
+		SchemaVersion: telemetry.SchemaVersion,
+		Quick:         *quick,
+		SMs:           cfg.SMs,
+		Partitions:    cfg.Partitions,
+		MaxCycles:     cfg.MaxCycles,
+		GitRev:        telemetry.GitRevision("."),
 	}
-	return 0
+	if err := shutdown(m); err != nil {
+		log.Errorf("%v", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if len(stalled) > 0 {
+		log.Errorf("%d cell(s) stalled: %s", len(stalled), strings.Join(stalled, ", "))
+		if code == 0 {
+			code = 4
+		}
+	}
+	return code
+}
+
+// parseShardList resolves the bench-mode shard counts: the -bench-shards
+// list when given, else the single -shards value for compatibility.
+func parseShardList(list string, single int) ([]int, error) {
+	if list == "" {
+		if single > 0 {
+			return []int{single}, nil
+		}
+		return nil, nil
+	}
+	var counts []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-bench-shards: %q is not a positive shard count", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // installSink wires per-run telemetry dumps into the runner. Each completed
 // simulation writes <dir>/<workload>_<scheme>.prom and/or .trace.json; file
 // names are unique per (workload, scheme) so the concurrent prefetch workers
-// never share a file. Dump failures are reported but do not fail the run.
-func installSink(r *experiments.Runner, cfg gpu.Config, quick bool, sampleInterval uint64, metricsDir, traceDir string, stderr io.Writer) {
+// never share a file. The same render path is installed as the ops plane's
+// /metrics handler, so a scrape after the last cell byte-matches the
+// committed dump. Dump failures are reported but do not fail the run.
+func installSink(r *experiments.Runner, plane *obs.Plane, cfg gpu.Config, quick bool, sampleInterval uint64, metricsDir, traceDir string, log *obs.Logger) {
 	tcfg := telemetry.Config{SampleInterval: sampleInterval, CaptureEvents: traceDir != ""}
 	gitRev := telemetry.GitRevision(".")
 	r.SetTelemetrySink(tcfg, func(res gpu.Result, col *telemetry.Collector) {
@@ -218,12 +324,12 @@ func installSink(r *experiments.Runner, cfg gpu.Config, quick bool, sampleInterv
 			path := filepath.Join(dir, stem+suffix)
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				log.Errorf("%v", err)
 				return
 			}
 			defer f.Close()
 			if err := fn(f); err != nil {
-				fmt.Fprintf(stderr, "paperbench: writing %s: %v\n", path, err)
+				log.Errorf("writing %s: %v", path, err)
 			}
 		}
 		dump(metricsDir, ".prom", func(w io.Writer) error {
@@ -231,6 +337,9 @@ func installSink(r *experiments.Runner, cfg gpu.Config, quick bool, sampleInterv
 		})
 		dump(traceDir, ".trace.json", func(w io.Writer) error {
 			return telemetry.WriteChromeTrace(w, col, sum, m)
+		})
+		plane.SetMetrics(func(w io.Writer) error {
+			return telemetry.WritePrometheus(w, col, sum, m)
 		})
 	})
 }
@@ -246,47 +355,52 @@ func benchSchemes() []scheme.Scheme {
 
 // runBench measures the simulation sweep cell by cell (serially, so
 // allocation counts are attributable) and writes/compares perf baselines.
-// Sequential cells keep their historical names; with shards > 0 every
-// (workload, scheme) is additionally measured under the parallel engine as
-// run/<wl>/<scheme>/shards=N, so the baseline gate covers both modes.
-func runBench(cfg gpu.Config, quick bool, wls []string, shards int, outPath, comparePath string, tol float64, checkTime bool, stdout, stderr io.Writer) int {
+// Sequential cells keep their historical names; every shard count in
+// shardList additionally measures each (workload, scheme) under the
+// parallel engine as run/<wl>/<scheme>/shards=N, so the baseline gate
+// covers both modes.
+func runBench(cfg gpu.Config, quick bool, wls []string, shardList []int, outPath, comparePath string, tol float64, checkTime bool, stdout io.Writer, log *obs.Logger) int {
 	if len(wls) == 0 {
 		wls = workload.MemoryIntensive()
 	}
 	b := perf.New(quick)
-	b.Shards = shards
+	for _, n := range shardList {
+		if n > b.Shards {
+			b.Shards = n
+		}
+	}
 	sweepStart := time.Now()
 	seqCfg := cfg
 	seqCfg.ParallelShards = 0
-	parCfg := cfg
-	parCfg.ParallelShards = shards
 	for _, wl := range wls {
 		for _, sch := range benchSchemes() {
 			bench, err := workload.ByName(wl)
 			if err != nil {
-				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				log.Errorf("%v", err)
 				return 2
 			}
 			opts := sch.Options
 			cell := perf.Measure("run/"+wl+"/"+sch.Name, 1, func() {
 				res := gpu.NewSystem(seqCfg, opts).Run(bench)
 				if !res.Completed {
-					fmt.Fprintf(stderr, "paperbench: warning: %s/%s hit MaxCycles\n", wl, sch.Name)
+					log.Errorf("warning: %s/%s hit MaxCycles", wl, sch.Name)
 				}
 			})
 			b.Add(cell)
-			if shards > 0 {
-				// A Bench carries per-run frontier-pacing state; the
+			for _, n := range shardList {
+				// A Bench carries per-run frontier-pacing state; each
 				// parallel cell needs its own instance.
 				bench, err := workload.ByName(wl)
 				if err != nil {
-					fmt.Fprintf(stderr, "paperbench: %v\n", err)
+					log.Errorf("%v", err)
 					return 2
 				}
-				cell := perf.Measure(fmt.Sprintf("run/%s/%s/shards=%d", wl, sch.Name, shards), 1, func() {
+				parCfg := cfg
+				parCfg.ParallelShards = n
+				cell := perf.Measure(fmt.Sprintf("run/%s/%s/shards=%d", wl, sch.Name, n), 1, func() {
 					res := gpu.NewSystem(parCfg, opts).Run(bench)
 					if !res.Completed {
-						fmt.Fprintf(stderr, "paperbench: warning: %s/%s (shards=%d) hit MaxCycles\n", wl, sch.Name, shards)
+						log.Errorf("warning: %s/%s (shards=%d) hit MaxCycles", wl, sch.Name, n)
 					}
 				})
 				b.Add(cell)
@@ -300,14 +414,14 @@ func runBench(cfg gpu.Config, quick bool, wls []string, shards int, outPath, com
 
 	if outPath != "" {
 		if err := perf.WriteFile(outPath, b); err != nil {
-			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			log.Errorf("%v", err)
 			return 1
 		}
 	}
 	if comparePath != "" {
 		base, err := perf.ReadFile(comparePath)
 		if err != nil {
-			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			log.Errorf("%v", err)
 			return 1
 		}
 		timeTol := -1.0
@@ -316,9 +430,9 @@ func runBench(cfg gpu.Config, quick bool, wls []string, shards int, outPath, com
 		}
 		regs := perf.Compare(base, b, perf.Tolerance{AllocFrac: tol, TimeFrac: timeTol})
 		if len(regs) > 0 {
-			fmt.Fprintf(stderr, "paperbench: %d benchmark regression(s) vs %s:\n", len(regs), comparePath)
+			log.Errorf("%d benchmark regression(s) vs %s:", len(regs), comparePath)
 			for _, r := range regs {
-				fmt.Fprintf(stderr, "  %s\n", r)
+				log.Errorf("  %s", r)
 			}
 			return 3
 		}

@@ -5,12 +5,15 @@
 // (fast-forward equivalence, determinism, sanitizer transparency,
 // detector ablation, cross-scheme metamorphic orderings, conservation
 // laws). Failing cells are shrunk to minimal replayable JSON repros and
-// written to the corpus directory.
+// written to the corpus directory. With the ops-plane flags a campaign is
+// observable live: streaming progress, per-cell spans, a (dump-only) stall
+// watchdog, and an embedded HTTP endpoint.
 //
 // Usage:
 //
 //	shmfuzz -duration 60s -seed 1 -corpus testdata/fuzz/corpus
 //	shmfuzz -cells 50 -seed 7
+//	shmfuzz -cells 50 -progress -ops-listen :8080
 //	shmfuzz -replay finding.json
 //
 // Exit codes: 0 when every oracle stayed green, 1 when a campaign found
@@ -26,6 +29,8 @@ import (
 	"time"
 
 	"shmgpu/internal/fuzz"
+	"shmgpu/internal/obs"
+	"shmgpu/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +47,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		corpus   = fs.String("corpus", "", "directory for finding-NNN.json repros and manifest.json")
 		budget   = fs.Int("shrink-budget", 0, "max oracle evaluations per shrink (0 = default)")
 		replay   = fs.String("replay", "", "replay one case/finding JSON file instead of running a campaign")
-		quiet    = fs.Bool("q", false, "suppress per-finding progress lines")
+		quiet    = fs.Bool("q", false, "suppress per-finding progress lines and informational logging")
+		verbose  = fs.Bool("v", false, "verbose logging")
 	)
+	var opsFlags obs.Flags
+	opsFlags.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: shmfuzz [flags]\n\nRuns differential-fuzzing campaigns over the simulator.\n\nFlags:\n")
 		fs.PrintDefaults()
@@ -51,18 +59,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	log := obs.NewLogger(stderr, "shmfuzz", obs.LevelFromFlags(*quiet, *verbose))
 	if fs.NArg() != 0 {
-		fmt.Fprintf(stderr, "shmfuzz: unexpected arguments %v\n", fs.Args())
+		log.Errorf("unexpected arguments %v", fs.Args())
 		fs.Usage()
 		return 2
 	}
 
 	if *replay != "" {
-		return replayCase(*replay, stdout, stderr)
+		return replayCase(*replay, stdout, log)
 	}
 	if *duration <= 0 && *cells <= 0 {
-		fmt.Fprintln(stderr, "shmfuzz: set -duration and/or -cells to bound the campaign")
+		log.Errorf("set -duration and/or -cells to bound the campaign")
 		fs.Usage()
+		return 2
+	}
+	if opsFlags.WatchdogCancel {
+		// A half-run oracle battery reports nonsense diffs, so fuzz cells
+		// are never cancelled; the watchdog still dumps diagnostics.
+		log.Infof("-watchdog-cancel is ignored for fuzzing campaigns (the watchdog is dump-only)")
+		opsFlags.WatchdogCancel = false
+	}
+
+	plane, shutdown, err := opsFlags.Start("shmfuzz", *cells, stderr, log)
+	if err != nil {
+		log.Errorf("%v", err)
 		return 2
 	}
 
@@ -72,14 +93,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxCells:     *cells,
 		CorpusDir:    *corpus,
 		ShrinkBudget: *budget,
+		Ops:          plane,
 	}
 	if !*quiet {
 		opts.Log = stdout
 	}
 	res, err := fuzz.RunCampaign(opts)
+	sdErr := shutdown(telemetry.Manifest{
+		Tool:          "shmfuzz",
+		SchemaVersion: telemetry.SchemaVersion,
+		Seed:          *seed,
+	})
 	if err != nil {
-		fmt.Fprintf(stderr, "shmfuzz: %v\n", err)
+		log.Errorf("%v", err)
 		return 2
+	}
+	if sdErr != nil {
+		log.Errorf("%v", sdErr)
 	}
 	fmt.Fprintf(stdout, "shmfuzz: seed=%d cells=%d findings=%d invalid=%d elapsed=%s\n",
 		res.Seed, res.Cells, len(res.Findings), res.InvalidCells,
@@ -99,15 +129,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // replayCase re-runs the oracle battery on a saved case. Finding files
 // (which wrap the case) are accepted too, preferring the shrunk repro.
-func replayCase(path string, stdout, stderr io.Writer) int {
+func replayCase(path string, stdout io.Writer, log *obs.Logger) int {
 	c, err := loadReplay(path)
 	if err != nil {
-		fmt.Fprintf(stderr, "shmfuzz: %v\n", err)
+		log.Errorf("%v", err)
 		return 2
 	}
 	vs, err := fuzz.CheckCase(c)
 	if err != nil {
-		fmt.Fprintf(stderr, "shmfuzz: invalid case: %v\n", err)
+		log.Errorf("invalid case: %v", err)
 		return 2
 	}
 	if len(vs) == 0 {

@@ -1,7 +1,9 @@
 // Command shmsim runs one workload under one secure-memory design and
 // prints detailed statistics: IPC (absolute and normalized), per-class DRAM
 // traffic, cache behaviour, detector events, and predictor accuracy. With
-// the telemetry flags it also exports machine-readable traces and metrics.
+// the telemetry flags it also exports machine-readable traces and metrics,
+// and with the ops-plane flags the run is observable live (progress records,
+// span traces, a stall watchdog, and an embedded HTTP endpoint).
 //
 // Usage:
 //
@@ -9,10 +11,13 @@
 //	shmsim -workload bfs -scheme Naive -quick
 //	shmsim -workload fdtd2d -scheme SHM -quick -trace-out t.json -metrics-out m.prom
 //	shmsim -workload fdtd2d -scheme SHM -quick -json
+//	shmsim -workload fdtd2d -scheme SHM -progress -ops-listen :8080
+//	shmsim -workload fdtd2d -scheme SHM -watchdog 30s -watchdog-cancel
 //	shmsim -list
 //
 // Exit codes: 0 on success, 1 on output/runtime errors, 2 on usage errors
-// (bad flags, unknown workload or scheme).
+// (bad flags, unknown workload or scheme), 4 when the watchdog declared the
+// run stalled and cancelled it.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"shmgpu"
 	"shmgpu/internal/invariant"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/stats"
@@ -35,7 +41,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("shmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -52,7 +58,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed           = fs.Int64("seed", 0, "workload seed for the warp programs' random streams (0 = the benchmark's built-in seed)")
 		check          = fs.Bool("check", false, "enable the runtime invariant sanitizer (model self-checks; slower)")
 		shards         = fs.Int("shards", 0, "parallel tick shards (0 = sequential; results are byte-identical either way)")
+		quiet          = fs.Bool("q", false, "suppress informational logging (errors still print)")
+		verbose        = fs.Bool("v", false, "verbose logging")
 	)
+	var opsFlags obs.Flags
+	opsFlags.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: shmsim [flags]\n\nRuns one workload under one secure-memory design.\n\nFlags:\n")
 		fs.PrintDefaults()
@@ -61,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// fs already printed the error and usage.
 		return 2
 	}
+	log := obs.NewLogger(stderr, "shmsim", obs.LevelFromFlags(*quiet, *verbose))
 
 	if *list {
 		fmt.Fprintln(stdout, "Workloads (paper Table VII):")
@@ -80,12 +91,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg = shmgpu.QuickConfig()
 	}
 	if *shards < 0 {
-		fmt.Fprintf(stderr, "shmsim: -shards must be non-negative, got %d\n", *shards)
+		log.Errorf("-shards must be non-negative, got %d", *shards)
 		return 2
 	}
 	cfg.ParallelShards = *shards
 	if _, err := scheme.ByName(*sch); err != nil {
-		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		log.Errorf("%v (run with -list to see valid names)", err)
 		return 2
 	}
 	if *check {
@@ -93,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	effSeed, err := shmgpu.EffectiveSeed(*wl, *seed)
 	if err != nil {
-		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		log.Errorf("%v (run with -list to see valid names)", err)
 		return 2
 	}
 
@@ -103,11 +114,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CaptureEvents:  *traceOut != "" || *jsonlOut != "",
 	}
 
-	started := time.Now()
-	base, err := shmgpu.RunSeeded(cfg, *wl, "Baseline", *seed)
+	// Two observable cells: the baseline reference run and the requested
+	// run. The shutdown writes the span trace with whatever manifest fields
+	// are known by then, so it is deferred against every return path.
+	plane, shutdown, err := opsFlags.Start("shmsim", 2, stderr, log)
 	if err != nil {
-		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		log.Errorf("%v", err)
+		return 1
+	}
+	traceManifest := &telemetry.Manifest{
+		Tool:          "shmsim",
+		SchemaVersion: telemetry.SchemaVersion,
+		Workload:      *wl,
+		Scheme:        *sch,
+		Quick:         *quick,
+	}
+	defer func() {
+		if err := shutdown(*traceManifest); err != nil {
+			log.Errorf("%v", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	started := time.Now()
+	base, _, err := shmgpu.RunObservedSeeded(cfg, *wl, "Baseline", *seed, telemetry.Config{}, plane.BeginRun(*wl+"/Baseline"))
+	if err != nil {
+		log.Errorf("%v (run with -list to see valid names)", err)
 		return 2
+	}
+	if base.Cancelled {
+		log.Errorf("baseline run %s stalled and was cancelled by the watchdog", *wl)
+		return 4
 	}
 
 	var res shmgpu.Result
@@ -115,17 +154,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *accuracy:
 		schObj, _ := scheme.ByName(*sch)
-		res = shmgpu.NewRunner(cfg, []string{*wl}).RunWithAccuracy(*wl, schObj)
+		r := shmgpu.NewRunner(cfg, []string{*wl})
+		r.SetOps(plane)
+		res = r.RunWithAccuracy(*wl, schObj)
 	case instrument:
-		res, col, err = shmgpu.RunWithTelemetrySeeded(cfg, *wl, *sch, *seed, tcfg)
+		res, col, err = shmgpu.RunObservedSeeded(cfg, *wl, *sch, *seed, tcfg, plane.BeginRun(*wl+"/"+*sch))
 	default:
-		res, err = shmgpu.RunSeeded(cfg, *wl, *sch, *seed)
+		res, _, err = shmgpu.RunObservedSeeded(cfg, *wl, *sch, *seed, telemetry.Config{}, plane.BeginRun(*wl+"/"+*sch))
 	}
 	if err != nil {
-		fmt.Fprintf(stderr, "shmsim: %v (run with -list to see valid names)\n", err)
+		log.Errorf("%v (run with -list to see valid names)", err)
 		return 2
 	}
 	wall := time.Since(started)
+	if res.Cancelled {
+		log.Errorf("run %s/%s stalled and was cancelled by the watchdog (diagnostics in the -watchdog-dir bundle)", *wl, *sch)
+		return 4
+	}
 
 	sum := shmgpu.Summarize(res)
 	manifest := shmgpu.Manifest{
@@ -143,9 +188,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Started:        started.UTC().Format(time.RFC3339),
 		WallTime:       wall.Round(time.Millisecond).String(),
 	}
+	*traceManifest = manifest
+	if col != nil {
+		// The live /metrics endpoint serves the same renderer the
+		// -metrics-out dump uses, so a final scrape byte-matches the file.
+		plane.SetMetrics(func(w io.Writer) error {
+			return telemetry.WritePrometheus(w, col, sum, manifest)
+		})
+	}
 
-	if code := writeExports(stderr, col, sum, manifest, *traceOut, *metricsOut, *jsonlOut); code != 0 {
-		return code
+	if c := writeExports(log, col, sum, manifest, *traceOut, *metricsOut, *jsonlOut); c != 0 {
+		return c
 	}
 
 	if *jsonOut {
@@ -164,7 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			out.Baseline.NormalizedIPC = res.IPC() / base.IPC()
 		}
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(stderr, "shmsim: %v\n", err)
+			log.Errorf("%v", err)
 			return 1
 		}
 		return 0
@@ -181,23 +234,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // writeExports writes the requested telemetry outputs; any failure is an IO
 // error (exit 1).
-func writeExports(stderr io.Writer, col *shmgpu.Collector, sum shmgpu.RunSummary, m shmgpu.Manifest, traceOut, metricsOut, jsonlOut string) int {
+func writeExports(log *obs.Logger, col *shmgpu.Collector, sum shmgpu.RunSummary, m shmgpu.Manifest, traceOut, metricsOut, jsonlOut string) int {
 	write := func(path string, fn func(io.Writer) error) int {
 		if path == "" {
 			return 0
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(stderr, "shmsim: %v\n", err)
+			log.Errorf("%v", err)
 			return 1
 		}
 		defer f.Close()
 		if err := fn(f); err != nil {
-			fmt.Fprintf(stderr, "shmsim: writing %s: %v\n", path, err)
+			log.Errorf("writing %s: %v", path, err)
 			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(stderr, "shmsim: closing %s: %v\n", path, err)
+			log.Errorf("closing %s: %v", path, err)
 			return 1
 		}
 		return 0

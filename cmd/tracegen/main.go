@@ -24,6 +24,7 @@ import (
 	"shmgpu"
 	"shmgpu/internal/detectors"
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/trace"
@@ -46,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trackers = fs.Int("trackers", 8, "replay: memory access trackers per partition")
 		timeout  = fs.Uint64("timeout", 6000, "replay: monitoring-phase idle timeout (cycles)")
 		lead     = fs.Uint64("lead", 4, "replay: monitor-ahead distance (chunks)")
+		quiet    = fs.Bool("q", false, "suppress informational logging (errors still print)")
+		verbose  = fs.Bool("v", false, "verbose logging")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: tracegen [flags]\n\nRecords off-chip access traces and replays them through streaming detectors.\n\nFlags:\n")
@@ -54,35 +57,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	log := obs.NewLogger(stderr, "tracegen", obs.LevelFromFlags(*quiet, *verbose))
 	if fs.NArg() != 0 {
-		fmt.Fprintf(stderr, "tracegen: unexpected arguments %v\n", fs.Args())
+		log.Errorf("unexpected arguments %v", fs.Args())
 		fs.Usage()
 		return 2
 	}
 
 	switch {
 	case *replay != "":
+		log.Debugf("replaying %s (trackers=%d timeout=%d lead=%d)", *replay, *trackers, *timeout, *lead)
 		if err := doReplay(stdout, *replay, *trackers, *timeout, *lead); err != nil {
-			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			log.Errorf("%v", err)
 			return 1
 		}
 	case *out != "":
 		bench, err := workload.ByName(*wl)
 		if err != nil {
-			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			log.Errorf("%v", err)
 			return 2
 		}
 		sch, err := scheme.ByName(*schName)
 		if err != nil {
-			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			log.Errorf("%v", err)
 			return 2
 		}
+		log.Debugf("recording %s/%s to %s", *wl, sch.Name, *out)
 		if err := record(stdout, bench, sch, *wl, *out, *quick); err != nil {
-			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			log.Errorf("%v", err)
 			return 1
 		}
 	default:
-		fmt.Fprintln(stderr, "specify -out to record or -replay to replay (see -h)")
+		log.Errorf("specify -out to record or -replay to replay (see -h)")
 		return 2
 	}
 	return 0

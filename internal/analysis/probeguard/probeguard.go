@@ -1,7 +1,8 @@
-// Package probeguard preserves the telemetry layer's zero-overhead
-// contract: probes are nil by default, and every Emit call on a
-// telemetry.Probe-typed value must be dominated by a nil check, so an
-// uninstrumented run never constructs an Event or takes an interface call.
+// Package probeguard preserves the observability layers' zero-overhead
+// contract: probes are nil by default, and every emit call on a probe
+// interface — Emit on a telemetry.Probe, Observe on an obs.Probe — must be
+// dominated by a nil check, so an unobserved run never constructs an Event
+// or takes an interface call.
 //
 // Two guard idioms are recognized, matching the tree's conventions:
 //
@@ -12,7 +13,7 @@
 //	s.probe.Emit(...)
 //
 // The early-return form must appear at the top level of the enclosing
-// function body, before the Emit call. Anything else — including an Emit
+// function body, before the emit call. Anything else — including an emit
 // reached through an unguarded else-branch — is reported.
 package probeguard
 
@@ -27,8 +28,18 @@ import (
 // Analyzer is the probeguard check.
 var Analyzer = &analysis.Analyzer{
 	Name: "probeguard",
-	Doc:  "require a dominating nil check on every telemetry.Probe Emit site",
+	Doc:  "require a dominating nil check on every telemetry.Probe Emit and obs.Probe Observe site",
 	Run:  run,
+}
+
+// contracts lists the nil-guarded emit methods: the named interface (by
+// package and type name) and the method whose call sites must be dominated
+// by a nil check.
+var contracts = []struct {
+	pkg, typ, method string
+}{
+	{"telemetry", "Probe", "Emit"},
+	{"obs", "Probe", "Observe"},
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -54,11 +65,21 @@ func run(pass *analysis.Pass) (any, error) {
 
 func checkEmit(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Emit" {
+	if !ok {
 		return
 	}
 	recv := pass.TypesInfo.TypeOf(sel.X)
-	if recv == nil || !analysis.NamedType(recv, "telemetry", "Probe") {
+	if recv == nil {
+		return
+	}
+	matched := false
+	for _, c := range contracts {
+		if sel.Sel.Name == c.method && analysis.NamedType(recv, c.pkg, c.typ) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
 		return
 	}
 	if _, isIface := recv.Underlying().(*types.Interface); !isIface {
@@ -72,9 +93,9 @@ func checkEmit(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 		return
 	}
 	pass.Reportf(call.Pos(),
-		"probe Emit without a dominating nil check: guard with `if %s != nil` "+
-			"or an early `if %s == nil { return }` (probes are nil unless telemetry is on)",
-		recvText, recvText)
+		"probe %s without a dominating nil check: guard with `if %s != nil` "+
+			"or an early `if %s == nil { return }` (probes are nil unless observability is on)",
+		sel.Sel.Name, recvText, recvText)
 }
 
 // guardedByIf reports whether the call sits in the then-branch of an if

@@ -14,6 +14,7 @@ func TestProbeguard(t *testing.T) {
 	}{
 		{name: "guard idioms", pkgs: []string{"sim"}},
 		{name: "telemetry package itself is exempt", pkgs: []string{"telemetry"}},
+		{name: "obs package itself is exempt", pkgs: []string{"obs"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -1,0 +1,15 @@
+// Package obs is a fixture mirror of the live-observability probe
+// contract: Probe is an interface whose fields are nil unless the ops
+// plane is attached.
+package obs
+
+// Event is one observability event.
+type Event struct {
+	Kind  uint8
+	Cycle uint64
+}
+
+// Probe observes events.
+type Probe interface {
+	Observe(e Event)
+}

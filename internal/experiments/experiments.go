@@ -14,11 +14,14 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"shmgpu/internal/detectors"
 	"shmgpu/internal/energy"
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/pool"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
@@ -40,6 +43,12 @@ type Runner struct {
 	tcfg telemetry.Config
 	sink func(gpu.Result, *telemetry.Collector)
 
+	// ops, when non-nil, is the live observability plane: every uncached
+	// run gets a cell span, a progress heartbeat, and — when the plane's
+	// watchdog is armed to cancel — an abandon path that lets the sweep
+	// complete with a stalled cell reported instead of hanging.
+	ops *obs.Plane
+
 	mu    sync.Mutex
 	cache map[string]gpu.Result
 }
@@ -59,6 +68,10 @@ func (r *Runner) SetTelemetrySink(tcfg telemetry.Config, sink func(gpu.Result, *
 	r.tcfg = tcfg
 	r.sink = sink
 }
+
+// SetOps attaches a live observability plane (nil detaches). Attach before
+// the first run; the plane outlives the runner and is closed by its owner.
+func (r *Runner) SetOps(p *obs.Plane) { r.ops = p }
 
 // NewRunner builds a runner over the given GPU configuration and workload
 // list (empty list = the paper's 15 memory-intensive workloads).
@@ -101,6 +114,12 @@ func (r *Runner) RunWithAccuracy(wl string, sch scheme.Scheme) gpu.Result {
 }
 
 func (r *Runner) run(wl string, sch scheme.Scheme, accuracy bool) gpu.Result {
+	return r.runOn(-1, wl, sch, accuracy)
+}
+
+// runOn is run with the identity of the pool worker executing it (-1 when
+// not on a pool), threaded into the cell span.
+func (r *Runner) runOn(worker int, wl string, sch scheme.Scheme, accuracy bool) gpu.Result {
 	k := key(wl, sch, accuracy)
 	r.mu.Lock()
 	if res, ok := r.cache[k]; ok {
@@ -121,9 +140,20 @@ func (r *Runner) run(wl string, sch scheme.Scheme, accuracy bool) gpu.Result {
 		col = telemetry.New(r.tcfg)
 		sys.AttachTelemetry(col)
 	}
-	res := sys.Run(bench)
+	orun := r.ops.BeginRun(k)
+	if orun != nil {
+		if worker >= 0 {
+			orun.Span().Annotate("worker", strconv.Itoa(worker))
+		}
+		sys.SetObserver(orun, 0)
+		sys.SetCancel(orun.CancelFlag())
+	}
+	res := r.runSystem(sys, bench, wl, orun)
 	res.Scheme = sch.Name
-	if r.sink != nil {
+	if orun != nil {
+		orun.Done(res.Cycles, res.Completed)
+	}
+	if r.sink != nil && !res.Cancelled {
 		r.sink(res, col)
 	}
 
@@ -131,6 +161,32 @@ func (r *Runner) run(wl string, sch scheme.Scheme, accuracy bool) gpu.Result {
 	r.cache[k] = res
 	r.mu.Unlock()
 	return res
+}
+
+// runSystem executes one simulation, honouring the plane's abandon path:
+// when the stall watchdog is armed to cancel, the simulation runs on its
+// own goroutine and the watchdog's abandon signal (plus a grace period for
+// the tick loop to notice the cancel flag) unblocks the sweep with a
+// placeholder Result marked Cancelled. A run that never reaches another
+// tick boundary leaks its goroutine — that is exactly the wedged state the
+// diagnostic bundle documents.
+func (r *Runner) runSystem(sys *gpu.System, bench gpu.Workload, wl string, orun *obs.Run) gpu.Result {
+	if orun == nil || !r.ops.CanCancel() {
+		return sys.Run(bench)
+	}
+	ch := make(chan gpu.Result, 1)
+	go func() { ch <- sys.Run(bench) }() //shm:parallel-ok — joined via ch or deliberately abandoned on watchdog cancel
+	select {
+	case res := <-ch:
+		return res
+	case <-orun.Abandoned():
+		select {
+		case res := <-ch:
+			return res
+		case <-time.After(r.ops.CancelGrace()):
+			return gpu.Result{Workload: wl, Cancelled: true}
+		}
+	}
 }
 
 // job describes one simulation to prefetch.
@@ -161,14 +217,14 @@ func (r *Runner) Prefetch(schemes []scheme.Scheme, accuracy bool) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	tasks := make([]func(), len(jobs))
+	tasks := make([]func(worker int), len(jobs))
 	for i := range jobs {
 		j := jobs[i]
-		tasks[i] = func() { r.run(j.wl, j.sch, j.accuracy) }
+		tasks[i] = func(worker int) { r.runOn(worker, j.wl, j.sch, j.accuracy) }
 	}
 	p := pool.New(workers)
 	defer p.Close()
-	p.Run(tasks)
+	p.RunTagged(tasks)
 }
 
 // normalizedIPC returns scheme IPC / baseline IPC for a workload.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/telemetry"
 	"shmgpu/internal/workload"
@@ -45,6 +46,14 @@ func RunInstrumented(cfg gpu.Config, wl string, sch scheme.Scheme, tcfg telemetr
 // RunInstrumentedSeeded is RunInstrumented with an explicit workload seed
 // (0 keeps the benchmark's built-in seed).
 func RunInstrumentedSeeded(cfg gpu.Config, wl string, seed int64, sch scheme.Scheme, tcfg telemetry.Config) (gpu.Result, *telemetry.Collector, error) {
+	return RunObservedSeeded(cfg, wl, seed, sch, tcfg, nil)
+}
+
+// RunObservedSeeded is RunInstrumentedSeeded with a live-observability run
+// handle attached (nil = no live plane): the simulator feeds the run's
+// heartbeat and phase spans and honours its cancel flag. The observation
+// path is passive, so results are byte-identical with orun nil or not.
+func RunObservedSeeded(cfg gpu.Config, wl string, seed int64, sch scheme.Scheme, tcfg telemetry.Config, orun *obs.Run) (gpu.Result, *telemetry.Collector, error) {
 	bench, err := workload.ByNameSeeded(wl, seed)
 	if err != nil {
 		return gpu.Result{}, nil, err
@@ -52,7 +61,14 @@ func RunInstrumentedSeeded(cfg gpu.Config, wl string, seed int64, sch scheme.Sch
 	col := telemetry.New(tcfg)
 	sys := gpu.NewSystem(cfg, sch.Options)
 	sys.AttachTelemetry(col)
+	if orun != nil {
+		sys.SetObserver(orun, 0)
+		sys.SetCancel(orun.CancelFlag())
+	}
 	res := sys.Run(bench)
 	res.Scheme = sch.Name
+	if orun != nil {
+		orun.Done(res.Cycles, res.Completed)
+	}
 	return res, col, nil
 }

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"shmgpu/internal/obs"
 )
 
 // CampaignOptions configures a timed fuzzing campaign.
@@ -33,6 +35,12 @@ type CampaignOptions struct {
 	// Log, when set, receives one progress line per finding and a
 	// campaign summary line.
 	Log io.Writer
+	// Ops, when set, is the live observability plane: every cell gets a
+	// span and a heartbeat, so -ops-listen/-progress/-watchdog work for
+	// fuzzing campaigns exactly as for sweeps. The fuzz watchdog is
+	// dump-only (cells are never cancelled — a half-run oracle battery
+	// would report nonsense diffs). Nil disables all of it.
+	Ops *obs.Plane
 }
 
 // Finding is one failing cell of a campaign, with its shrunk repro.
@@ -130,17 +138,22 @@ func RunCampaign(opts CampaignOptions) (CampaignResult, error) {
 		}
 		c := CellCase(opts.Seed, i)
 		res.Cells++
+		orun := opts.Ops.BeginRun(c.Name)
+		check.Obs = orun
 		vs, err := CheckCaseOpts(c, check)
 		if err != nil {
 			// The generator must only emit valid cells; an invalid one is
 			// itself a finding about the generator.
 			res.InvalidCells++
 			logf("cell %d: INVALID: %v", i, err)
+			orun.Done(orun.Heartbeat().Load(), false)
 			continue
 		}
 		if len(vs) == 0 {
+			orun.Done(orun.Heartbeat().Load(), true)
 			continue
 		}
+		orun.Span().Annotate("violations", fmt.Sprint(len(vs)))
 		oracles := oracleNames(vs)
 		logf("cell %d: %d violation(s) [%v], shrinking...", i, len(vs), oracles)
 		pred := func(cand Case) bool {
@@ -176,6 +189,7 @@ func RunCampaign(opts CampaignOptions) (CampaignResult, error) {
 			}
 		}
 		logf("cell %d: shrunk in %d attempts -> %s", i, attempts, shrunkSummary(shrunk))
+		orun.Done(orun.Heartbeat().Load(), false)
 	}
 	res.ElapsedMillis = time.Since(start).Milliseconds()
 	if opts.CorpusDir != "" {

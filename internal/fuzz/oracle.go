@@ -9,6 +9,7 @@ import (
 	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
 	"shmgpu/internal/metadata"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/secmem"
 	"shmgpu/internal/stats"
@@ -52,6 +53,12 @@ type CheckOptions struct {
 	// detectors mispredict persistently, paying recovery traffic; the
 	// slack absorbs that while still catching double-charging bugs.
 	MetaTolerance float64
+	// Obs, when set, receives cycle heartbeats and phase spans from every
+	// simulation the battery runs, so a live watchdog can tell a slow
+	// cell from a wedged one. Observation is passive: artifacts are
+	// byte-identical with or without it, which is itself pinned by the
+	// determinism oracle whenever Obs is attached.
+	Obs *obs.Run
 }
 
 // DefaultCheckOptions returns the campaign defaults.
@@ -87,7 +94,7 @@ func resultLine(res gpu.Result) string {
 // sequential); the parallel-equivalence oracle is the only caller that
 // passes a non-zero value, so every other oracle compares runs of the
 // reference sequential engine.
-func (c Case) runArtifacts(schemeLabel string, opts secmem.Options, disableFF, sanitize bool, shards int) (artifacts, []invariant.Violation, error) {
+func (c Case) runArtifacts(orun *obs.Run, schemeLabel string, opts secmem.Options, disableFF, sanitize bool, shards int) (artifacts, []invariant.Violation, error) {
 	bench, err := c.Bench()
 	if err != nil {
 		return artifacts{}, nil, err
@@ -105,6 +112,12 @@ func (c Case) runArtifacts(schemeLabel string, opts secmem.Options, disableFF, s
 	col := telemetry.New(telemetry.Config{SampleInterval: 500, CaptureEvents: true})
 	sys := gpu.NewSystem(cfg, opts)
 	sys.AttachTelemetry(col)
+	if orun != nil {
+		// Heartbeats and phase spans only — never the cancel flag: a run
+		// cancelled mid-battery would poison the byte comparisons, so the
+		// fuzz watchdog is strictly dump-only.
+		sys.SetObserver(orun, 0)
+	}
 	res := sys.Run(bench)
 	res.Scheme = schemeLabel
 
@@ -199,11 +212,11 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		if err != nil {
 			return nil, err
 		}
-		ff, _, err := c.runArtifacts(name, sch.Options, false, false, 0)
+		ff, _, err := c.runArtifacts(opts.Obs, name, sch.Options, false, false, 0)
 		if err != nil {
 			return nil, err
 		}
-		ref, _, err := c.runArtifacts(name, sch.Options, true, false, 0)
+		ref, _, err := c.runArtifacts(opts.Obs, name, sch.Options, true, false, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +225,7 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		// same telemetry bytes. Schemes whose metadata mapping is not
 		// partition-local fall back to the sequential engine under the
 		// gate, so the comparison also pins the fallback path.
-		par, _, err := c.runArtifacts(name, sch.Options, false, false, 2)
+		par, _, err := c.runArtifacts(opts.Obs, name, sch.Options, false, false, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -233,13 +246,13 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	again, _, err := c.runArtifacts(det, detSch.Options, false, false, 0)
+	again, _, err := c.runArtifacts(opts.Obs, det, detSch.Options, false, false, 0)
 	if err != nil {
 		return nil, err
 	}
 	vs = append(vs, diffArtifacts("determinism", det, "first-run", "second-run", arts[det], again)...)
 
-	san, ivs, err := c.runArtifacts(det, detSch.Options, false, true, 0)
+	san, ivs, err := c.runArtifacts(opts.Obs, det, detSch.Options, false, true, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +273,7 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		abl := shm.Options
 		abl.ReadOnlyOpt = false
 		abl.DualGranMAC = false
-		ablArts, _, err := c.runArtifacts("PSSM", abl, false, false, 0)
+		ablArts, _, err := c.runArtifacts(opts.Obs, "PSSM", abl, false, false, 0)
 		if err != nil {
 			return nil, err
 		}

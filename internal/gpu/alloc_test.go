@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/secmem"
 )
 
@@ -102,28 +103,46 @@ func steadyState(t *testing.T, opts secmem.Options, shards int) *System {
 // into the simulator.
 func TestTickSteadyStateAllocFree(t *testing.T) {
 	cases := []struct {
-		name   string
-		opts   secmem.Options
-		shards int
+		name     string
+		opts     secmem.Options
+		shards   int
+		observed bool
 	}{
-		{"Baseline", secmem.Options{}, 0},
-		{"Naive", secmem.Options{Enabled: true}, 0},
-		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0},
+		{"Baseline", secmem.Options{}, 0, false},
+		{"Naive", secmem.Options{Enabled: true}, 0, false},
+		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0, false},
 		{"SHM", secmem.Options{
 			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
 			ReadOnlyOpt: true, DualGranMAC: true,
-		}, 0},
+		}, 0, false},
 		// The sharded engine must be allocation-free too: shard scratch
 		// (outboxes, horizons, pool batches) is preallocated, not per-tick.
-		{"Baseline/shards=4", secmem.Options{}, 4},
+		{"Baseline/shards=4", secmem.Options{}, 4, false},
 		{"SHM/shards=4", secmem.Options{
 			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
 			ReadOnlyOpt: true, DualGranMAC: true,
-		}, 4},
+		}, 4, false},
+		// The live ops plane must honour the same contract: a progress
+		// heartbeat is one comparison per tick plus an atomic store per
+		// interval, never an allocation.
+		{"SHM/observed", secmem.Options{
+			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+			ReadOnlyOpt: true, DualGranMAC: true,
+		}, 0, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			s := steadyState(t, tc.opts, tc.shards)
+			if tc.observed {
+				p, err := obs.Start(obs.Options{Tool: "alloc-test"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { p.Close() })
+				r := p.BeginRun("steady")
+				t.Cleanup(func() { r.Done(s.cycle, false) })
+				s.SetObserver(r, 0)
+			}
 			allocs := testing.AllocsPerRun(5000, func() {
 				s.tickOnce(s.cycle)
 				s.cycle++

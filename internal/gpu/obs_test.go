@@ -1,0 +1,126 @@
+package gpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"shmgpu/internal/obs"
+)
+
+// recordingProbe captures every observability event in issue order.
+type recordingProbe struct {
+	events []obs.Event
+}
+
+func (p *recordingProbe) Observe(e obs.Event) { p.events = append(p.events, e) }
+
+// TestObserverDoesNotPerturbSimulation is the ops plane's core contract:
+// attaching a live-observability probe must not change a single simulated
+// number, down to the full event-counter registry.
+func TestObserverDoesNotPerturbSimulation(t *testing.T) {
+	plain := run(t, smallConfig(), shmOptions(), testStream(600))
+
+	probe := &recordingProbe{}
+	sys := NewSystem(smallConfig(), shmOptions())
+	sys.SetObserver(probe, 0)
+	observed := sys.Run(testStream(600))
+
+	if plain.Cycles != observed.Cycles ||
+		plain.Instructions != observed.Instructions ||
+		plain.Traffic != observed.Traffic ||
+		plain.L2 != observed.L2 ||
+		plain.Ctr != observed.Ctr ||
+		plain.MAC != observed.MAC ||
+		plain.BMT != observed.BMT {
+		t.Errorf("observed run diverged:\nplain:    %s\nobserved: %s",
+			plain.String(), observed.String())
+	}
+	a, err := json.Marshal(plain.Reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(observed.Reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("counter registries diverged:\nplain:    %s\nobserved: %s", a, b)
+	}
+	if len(probe.events) == 0 {
+		t.Fatal("probe observed nothing")
+	}
+}
+
+// TestObserverPhaseEventsBalanced checks the phase stream's shape: one
+// begin/end pair per (phase, kernel), ends not before begins, and progress
+// heartbeats interleaved at nondecreasing cycles.
+func TestObserverPhaseEventsBalanced(t *testing.T) {
+	probe := &recordingProbe{}
+	sys := NewSystem(smallConfig(), shmOptions())
+	sys.SetObserver(probe, 0)
+	wl := &streamWorkload{name: "two", bufBytes: 2 << 20, compute: 6, insts: 300, kernels: 2}
+	res := sys.Run(wl)
+	if !res.Completed {
+		t.Fatalf("workload did not complete: %s", res.String())
+	}
+
+	type phaseKey struct {
+		ph obs.Phase
+		k  int
+	}
+	begins := map[phaseKey]uint64{}
+	pairs := map[phaseKey]int{}
+	progress := 0
+	lastCycle := uint64(0)
+	for _, e := range probe.events {
+		if e.Cycle < lastCycle {
+			t.Fatalf("event cycle went backwards: %d after %d", e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+		switch e.Kind {
+		case obs.EvProgress:
+			progress++
+		case obs.EvPhaseBegin:
+			begins[phaseKey{e.Phase, e.Index}] = e.Cycle
+		case obs.EvPhaseEnd:
+			key := phaseKey{e.Phase, e.Index}
+			begin, ok := begins[key]
+			if !ok {
+				t.Fatalf("phase end without begin: %+v", e)
+			}
+			if e.Cycle < begin {
+				t.Fatalf("phase %+v ended at %d before its begin %d", key, e.Cycle, begin)
+			}
+			pairs[key]++
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for _, ph := range []obs.Phase{obs.PhaseSetup, obs.PhaseKernel, obs.PhaseDrain} {
+			if pairs[phaseKey{ph, k}] != 1 {
+				t.Errorf("phase (%v, kernel %d): %d begin/end pairs, want 1",
+					ph, k, pairs[phaseKey{ph, k}])
+			}
+		}
+	}
+	if progress == 0 {
+		t.Error("no progress heartbeats")
+	}
+}
+
+// TestCancelFlagAbandonsRun checks the cooperative cancellation path the
+// stall watchdog uses: a set flag makes Run return promptly with the result
+// marked Cancelled, never Completed.
+func TestCancelFlagAbandonsRun(t *testing.T) {
+	sys := NewSystem(smallConfig(), shmOptions())
+	var c obs.Cancel
+	c.Cancel()
+	sys.SetCancel(&c)
+	res := sys.Run(testStream(600))
+	if !res.Cancelled {
+		t.Error("result not marked Cancelled")
+	}
+	if res.Completed {
+		t.Error("cancelled run claims completion")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"shmgpu/internal/dram"
 	"shmgpu/internal/invariant"
 	"shmgpu/internal/memdef"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/ringbuf"
 	"shmgpu/internal/secmem"
 	"shmgpu/internal/stats"
@@ -37,6 +38,9 @@ type Result struct {
 	Reg stats.Registry
 	// Completed reports whether all warps finished before MaxCycles.
 	Completed bool
+	// Cancelled reports whether the run was abandoned via a cooperative
+	// obs.Cancel flag (e.g. the stall watchdog) before finishing.
+	Cancelled bool
 }
 
 // IPC returns instructions per cycle.
@@ -114,6 +118,19 @@ type System struct {
 	// tele, when non-nil, collects probe events and timeline samples.
 	tele *telemetry.Collector
 
+	// obsProbe, when non-nil, receives live-observability events: a
+	// progress heartbeat every obsInterval cycles and phase transitions at
+	// kernel boundaries. Unlike the telemetry sampler it does NOT join the
+	// event horizon — heartbeats may lag across fast-forward skips — so
+	// attaching it cannot perturb the cycle-accurate results.
+	obsProbe    obs.Probe
+	obsInterval uint64
+	obsNextAt   uint64
+	// obsCancel, when non-nil, is polled once per tick; when set the run
+	// abandons its cycle loop and the Result is marked Cancelled.
+	obsCancel *obs.Cancel
+	cancelled bool
+
 	// syncer, when non-nil, is notified at the top of every tick so the
 	// workload can freeze its cross-warp pacing state (see TickSynced).
 	syncer TickSynced
@@ -147,6 +164,39 @@ func (s *System) AttachTelemetry(c *telemetry.Collector) {
 	}
 	for _, mee := range s.mees {
 		mee.SetProbe(p)
+	}
+}
+
+// DefaultObsInterval is the progress-heartbeat period in cycles used when
+// SetObserver is called with interval 0.
+const DefaultObsInterval = 8192
+
+// SetObserver installs a live-observability probe emitting EvProgress
+// heartbeats every interval cycles (0 = DefaultObsInterval) plus phase
+// begin/end events at kernel boundaries. Pass a true nil Probe to detach
+// (never a nil concrete pointer in an interface — the emit sites' nil
+// checks would pass and call through it). The probe is passive: it joins
+// neither the event horizon nor any scheduling decision, so results are
+// byte-identical with it attached or not.
+func (s *System) SetObserver(p obs.Probe, interval uint64) {
+	if interval == 0 {
+		interval = DefaultObsInterval
+	}
+	s.obsProbe = p
+	s.obsInterval = interval
+	s.obsNextAt = 0
+}
+
+// SetCancel installs a cooperative cancellation flag, polled once per
+// tick. A cancelled run returns from Run with Result.Cancelled set (and
+// Completed false); partial statistics up to the abandon point remain in
+// the Result.
+func (s *System) SetCancel(c *obs.Cancel) { s.obsCancel = c }
+
+// observePhase emits one phase-transition event at the current cycle.
+func (s *System) observePhase(kind obs.EventKind, ph obs.Phase, k int) {
+	if s.obsProbe != nil {
+		s.obsProbe.Observe(obs.Event{Kind: kind, Phase: ph, Index: k, Cycle: s.cycle})
 	}
 }
 
@@ -278,17 +328,23 @@ func (s *System) Run(wl Workload) Result {
 	s.startParallel()
 	completed := true
 	for k := 0; k < wl.Kernels(); k++ {
+		s.observePhase(obs.EvPhaseBegin, obs.PhaseSetup, k)
 		s.applySetup(k, wl.Setup(k))
 		for _, sm := range s.sms {
 			sm.launch(k, wl)
 		}
-		if !s.runKernel() {
+		s.observePhase(obs.EvPhaseEnd, obs.PhaseSetup, k)
+		s.observePhase(obs.EvPhaseBegin, obs.PhaseKernel, k)
+		ok := s.runKernel()
+		s.observePhase(obs.EvPhaseEnd, obs.PhaseKernel, k)
+		if !ok {
 			completed = false
 			break
 		}
 		// Kernel boundary: dirty L2 data drains through the MEE (this is
 		// how buffered stores reach DRAM and trigger RO transitions and
 		// MAC/counter updates), then dirty metadata follows.
+		s.observePhase(obs.EvPhaseBegin, obs.PhaseDrain, k)
 		for _, banks := range s.l2 {
 			for _, b := range banks {
 				b.flushAll()
@@ -300,13 +356,18 @@ func (s *System) Run(wl Workload) Result {
 			mee.FlushMetadata()
 		}
 		s.drainLoop()
+		s.observePhase(obs.EvPhaseEnd, obs.PhaseDrain, k)
 		for _, banks := range s.l2 {
 			for _, b := range banks {
 				b.resetSampling()
 			}
 		}
 	}
+	if s.cancelled {
+		completed = false
+	}
 	res := s.collect(wl.Name(), completed)
+	res.Cancelled = s.cancelled
 	s.stopParallel()
 	s.syncer = nil
 	return res
@@ -326,6 +387,10 @@ func (s *System) runKernel() bool {
 	}
 	idleStreak := 0
 	for {
+		if s.obsCancel != nil && s.obsCancel.Cancelled() {
+			s.cancelled = true
+			return false
+		}
 		now := s.cycle
 		s.tickOnce(now)
 		finished := s.smsFinished()
@@ -366,6 +431,12 @@ func (s *System) runKernel() bool {
 func (s *System) drainLoop() {
 	start := s.cycle
 	for s.cycle-start < 2_000_000 {
+		if s.obsCancel != nil && s.obsCancel.Cancelled() {
+			// Abandon the drain; the caller's result is marked Cancelled, so
+			// the undrained queues are never interpreted as a clean finish.
+			s.cancelled = true
+			return
+		}
 		if s.drained() {
 			if invariant.Enabled() {
 				for p, ch := range s.channels {
@@ -558,6 +629,14 @@ func (s *System) acceptRequest(r smRequest) bool {
 }
 
 func (s *System) tickOnce(now uint64) {
+	// Progress heartbeat: one comparison per tick, one atomic store per
+	// interval, no allocations. Deliberately outside the event horizon —
+	// a lagging heartbeat is fine, a horizon entry would change skip
+	// cycles and break byte-identity with unobserved runs.
+	if s.obsProbe != nil && now >= s.obsNextAt {
+		s.obsProbe.Observe(obs.Event{Kind: obs.EvProgress, Cycle: now})
+		s.obsNextAt = now + s.obsInterval
+	}
 	if s.syncer != nil {
 		s.syncer.SyncTick()
 	}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+	"time"
+
+	"shmgpu/internal/telemetry"
+)
+
+// Flags is the shared ops-plane flag bundle. Every long-running command
+// (paperbench, shmfuzz, shmsim) registers the same names with the same
+// semantics, so muscle memory and CI scripts transfer between tools.
+type Flags struct {
+	Progress       bool
+	ProgressOut    string
+	ProgressEvery  time.Duration
+	OpsListen      string
+	SpanTrace      string
+	SpanLog        string
+	Watchdog       time.Duration
+	WatchdogDir    string
+	WatchdogCancel bool
+}
+
+// Register installs the ops-plane flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Progress, "progress", false, "stream JSON progress records to stderr")
+	fs.StringVar(&f.ProgressOut, "progress-out", "", "write JSON progress records to this file instead of stderr")
+	fs.DurationVar(&f.ProgressEvery, "progress-every", 2*time.Second, "period between progress records")
+	fs.StringVar(&f.OpsListen, "ops-listen", "", "serve the live ops endpoint (/healthz, /metrics, /progress, /debug/pprof) on this address; :0 picks a free port")
+	fs.StringVar(&f.SpanTrace, "span-trace", "", "write the hierarchical span trace as Chrome trace-event JSON to this file at exit (open in Perfetto)")
+	fs.StringVar(&f.SpanLog, "span-log", "", "stream the span log (one JSON line per span begin/end) to this file")
+	fs.DurationVar(&f.Watchdog, "watchdog", 0, "stall deadline: declare a cell stalled when its cycle heartbeat stops advancing for this long (0 = off)")
+	fs.StringVar(&f.WatchdogDir, "watchdog-dir", "", "directory receiving one stall-<cell>/ diagnostic bundle per stalled cell")
+	fs.BoolVar(&f.WatchdogCancel, "watchdog-cancel", false, "cancel stalled cells instead of waiting on them (the sweep completes with stalled cells reported via a distinct exit code)")
+}
+
+// Enabled reports whether any ops-plane flag was set.
+func (f *Flags) Enabled() bool {
+	return f.Progress || f.ProgressOut != "" || f.OpsListen != "" ||
+		f.SpanTrace != "" || f.SpanLog != "" || f.Watchdog > 0
+}
+
+// Start opens the configured outputs and starts the plane; with no flag set
+// it returns a nil plane (every obs call no-ops) and a no-op shutdown. The
+// returned shutdown closes the plane, writes the Chrome span trace (the
+// manifest stamps the trace header), and closes the opened files; call it
+// exactly once and treat its error as an output error.
+func (f *Flags) Start(tool string, total int, stderr io.Writer, log *Logger) (*Plane, func(m telemetry.Manifest) error, error) {
+	if !f.Enabled() {
+		return nil, func(telemetry.Manifest) error { return nil }, nil
+	}
+	var files []*os.File
+	openOut := func(path string) (*os.File, error) {
+		fh, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, fh)
+		return fh, nil
+	}
+	closeAll := func() error {
+		var first error
+		for _, fh := range files {
+			if err := fh.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	opts := Options{
+		Tool:             tool,
+		TotalCells:       total,
+		ProgressEvery:    f.ProgressEvery,
+		OpsListen:        f.OpsListen,
+		WatchdogDeadline: f.Watchdog,
+		WatchdogDir:      f.WatchdogDir,
+		WatchdogCancel:   f.WatchdogCancel,
+		Log:              log,
+	}
+	if f.ProgressOut != "" {
+		w, err := openOut(f.ProgressOut)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		opts.ProgressOut = w
+	} else if f.Progress {
+		opts.ProgressOut = stderr
+	}
+	if f.SpanLog != "" {
+		w, err := openOut(f.SpanLog)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		opts.SpanLog = w
+	}
+	p, err := Start(opts)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	shutdown := func(m telemetry.Manifest) error {
+		err := p.Close()
+		if f.SpanTrace != "" {
+			fh, terr := os.Create(f.SpanTrace)
+			if terr != nil {
+				if err == nil {
+					err = terr
+				}
+			} else {
+				if werr := p.WriteChromeTrace(fh, m); werr != nil && err == nil {
+					err = werr
+				}
+				if cerr := fh.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+		if cerr := closeAll(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return p, shutdown, nil
+}

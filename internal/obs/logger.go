@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level selects how much a Logger prints.
+type Level int8
+
+const (
+	// LevelQuiet prints errors only (-q).
+	LevelQuiet Level = iota
+	// LevelInfo additionally prints status lines (the default).
+	LevelInfo
+	// LevelDebug additionally prints diagnostic detail (-v).
+	LevelDebug
+)
+
+// LevelFromFlags maps the tools' shared -q/-v pair to a level; -q wins
+// when both are set.
+func LevelFromFlags(quiet, verbose bool) Level {
+	switch {
+	case quiet:
+		return LevelQuiet
+	case verbose:
+		return LevelDebug
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is the commands' shared leveled stderr logger. Messages keep the
+// tools' historical "<tool>: message" shape so scripts matching on them
+// keep working; only the verbosity gating is new. A nil *Logger discards
+// everything. Safe for concurrent use (prefetch workers log through it).
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	level  Level
+}
+
+// NewLogger builds a logger writing "<prefix>: " - prefixed lines to w.
+func NewLogger(w io.Writer, prefix string, level Level) *Logger {
+	return &Logger{w: w, prefix: prefix, level: level}
+}
+
+// Level returns the logger's level (LevelQuiet for a nil logger).
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelQuiet
+	}
+	return l.level
+}
+
+// Errorf prints regardless of level: errors are part of the tools'
+// exit-code contract and are never suppressed.
+func (l *Logger) Errorf(format string, args ...any) { l.printf(LevelQuiet, format, args...) }
+
+// Infof prints status lines (suppressed by -q).
+func (l *Logger) Infof(format string, args ...any) { l.printf(LevelInfo, format, args...) }
+
+// Debugf prints diagnostic detail (enabled by -v).
+func (l *Logger) Debugf(format string, args ...any) { l.printf(LevelDebug, format, args...) }
+
+func (l *Logger) printf(min Level, format string, args ...any) {
+	if l == nil || l.w == nil || l.level < min {
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, l.prefix+": "+format+"\n", args...)
+	l.mu.Unlock()
+}

@@ -1,0 +1,105 @@
+// Package obs is the live observability plane layered over the batch
+// telemetry substrate (internal/telemetry): hierarchical span tracing with
+// dual sim-clock/wall-clock timestamps, streaming machine-readable progress
+// records, a stall watchdog that captures diagnostic bundles, and an
+// optional embedded HTTP ops endpoint (/metrics, /healthz, /progress,
+// pprof).
+//
+// The plane follows the telemetry layer's zero-overhead contract: the
+// simulator holds an obs.Probe that is nil by default, every emit site is
+// nil-guarded (enforced by the probeguard analyzer), and the steady-state
+// observation path — a heartbeat store per progress interval — performs no
+// allocations, so the cycle core stays 0 allocs/cycle with spans active.
+// Everything wall-clock-dependent (the watchdog, the reporter, the HTTP
+// server) lives on plane-owned goroutines, never on the simulation
+// goroutine, which keeps runs byte-identical with the plane on or off.
+package obs
+
+import "sync/atomic"
+
+// Phase identifies a section of one simulation run, in run order.
+type Phase uint8
+
+const (
+	// PhaseSetup is the host-side work before a kernel launch (input
+	// copies, metadata resets).
+	PhaseSetup Phase = iota
+	// PhaseKernel is the cycle loop of one kernel.
+	PhaseKernel
+	// PhaseDrain is the kernel-boundary flush: dirty L2 data and security
+	// metadata draining through the MEEs.
+	PhaseDrain
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	PhaseSetup:  "setup",
+	PhaseKernel: "kernel",
+	PhaseDrain:  "drain",
+}
+
+// String returns the export name of the phase.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// EventKind identifies the observation events the simulator emits.
+type EventKind uint8
+
+const (
+	// EvProgress is a periodic heartbeat from the cycle loop. Cycle is the
+	// current simulated cycle. Emitted at most once per observer interval,
+	// off the same boundary discipline as the telemetry sampler, so the
+	// steady-state cost is one comparison and one atomic store.
+	EvProgress EventKind = iota
+	// EvPhaseBegin marks entry into a run phase. Index is the kernel index
+	// (0 for drains following kernel Index).
+	EvPhaseBegin
+	// EvPhaseEnd marks exit from a run phase.
+	EvPhaseEnd
+)
+
+// Event is one observation event with a sim-clock timestamp.
+type Event struct {
+	// Kind selects the event type.
+	Kind EventKind
+	// Phase is the run phase for EvPhaseBegin/EvPhaseEnd.
+	Phase Phase
+	// Index is the kernel index the phase belongs to.
+	Index int
+	// Cycle is the simulated cycle the event occurred at.
+	Cycle uint64
+}
+
+// Probe receives observation events. The simulator holds a Probe field that
+// is nil by default; emit sites must guard with a nil check (the probeguard
+// analyzer enforces this), so an unobserved run performs no calls and no
+// allocations beyond that single comparison.
+type Probe interface {
+	Observe(e Event)
+}
+
+// Cancel is a cooperative cancellation flag shared between a watchdog (or
+// any other controller) and one simulation run. The run polls Cancelled at
+// tick granularity; setting the flag makes the run abandon its cycle loop
+// and return a Result marked Cancelled. All methods are nil-receiver safe.
+type Cancel struct {
+	flag atomic.Bool
+}
+
+// Cancel requests the run to stop at the next tick boundary.
+func (c *Cancel) Cancel() {
+	if c == nil {
+		return
+	}
+	c.flag.Store(true)
+}
+
+// Cancelled reports whether cancellation was requested.
+func (c *Cancel) Cancelled() bool {
+	return c != nil && c.flag.Load()
+}

@@ -1,0 +1,544 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"shmgpu/internal/telemetry"
+)
+
+func TestSpanTreeLanesAndCycles(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Begin(Span{}, "sweep", "s")
+	c1 := tr.BeginLane(root, "cell", "a")
+	c2 := tr.BeginLane(root, "cell", "b")
+	ph := tr.BeginCycle(c1, "phase", "kernel-0", 100)
+	ph.EndCycle(200)
+	c1.EndCycle(200)
+	c3 := tr.BeginLane(root, "cell", "c")
+	c3.End()
+	c2.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["a"].Lane == byName["b"].Lane {
+		t.Errorf("concurrent cells share lane %d", byName["a"].Lane)
+	}
+	if got, want := byName["kernel-0"].Lane, byName["a"].Lane; got != want {
+		t.Errorf("phase lane = %d, want parent's %d", got, want)
+	}
+	// c1 ended before c3 began, so c3 reuses its freed lane.
+	if got, want := byName["c"].Lane, byName["a"].Lane; got != want {
+		t.Errorf("after cell a ended, cell c got lane %d, want reused %d", got, want)
+	}
+	if ph := byName["kernel-0"]; ph.StartCycle != 100 || ph.EndCycle != 200 {
+		t.Errorf("phase cycles = [%d, %d], want [100, 200]", ph.StartCycle, ph.EndCycle)
+	}
+	for _, sp := range spans {
+		if sp.Open {
+			t.Errorf("span %q still open", sp.Name)
+		}
+	}
+
+	tree := tr.Tree()
+	if len(tree) != 1 || tree[0].Span.Name != "s" {
+		t.Fatalf("tree roots = %v, want single sweep root", tree)
+	}
+	if len(tree[0].Children) != 3 {
+		t.Fatalf("sweep has %d children, want 3 cells", len(tree[0].Children))
+	}
+	if len(tree[0].Children[0].Children) != 1 {
+		t.Errorf("cell a has %d children, want the phase span", len(tree[0].Children[0].Children))
+	}
+}
+
+func TestSpanLogStreams(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	s := tr.Begin(Span{}, "sweep", "s")
+	s.Annotate("k", "v")
+	s.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d span-log lines, want 2 (begin+end)", len(lines))
+	}
+	var begin, end spanLogLine
+	if err := json.Unmarshal([]byte(lines[0]), &begin); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &end); err != nil {
+		t.Fatal(err)
+	}
+	if begin.Ev != "begin" || end.Ev != "end" {
+		t.Errorf("events = %q, %q; want begin, end", begin.Ev, end.Ev)
+	}
+	if !begin.Span.Open || end.Span.Open {
+		t.Errorf("open flags = %v, %v; want true, false", begin.Span.Open, end.Span.Open)
+	}
+	if end.Span.Attrs["k"] != "v" {
+		t.Errorf("end record lost annotation: %v", end.Span.Attrs)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestSpanLogErrSticky(t *testing.T) {
+	tr := NewTracer(failWriter{})
+	tr.Begin(Span{}, "sweep", "s").End()
+	if tr.Err() == nil {
+		t.Fatal("want sink error surfaced via Err")
+	}
+}
+
+func TestZeroValuesAreNoOps(t *testing.T) {
+	var s Span
+	s.Annotate("k", "v")
+	s.End()
+	s.EndCycle(5)
+	if s.Valid() || s.ID() != -1 {
+		t.Errorf("zero span Valid=%v ID=%d", s.Valid(), s.ID())
+	}
+
+	var tr *Tracer
+	if sp := tr.Begin(Span{}, "a", "b"); sp.Valid() {
+		t.Error("nil tracer returned a valid span")
+	}
+	if tr.Snapshot() != nil || tr.Err() != nil {
+		t.Error("nil tracer snapshot/err not nil")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, telemetry.Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var p *Plane
+	if p.BeginRun("x") != nil {
+		t.Error("nil plane BeginRun != nil")
+	}
+	if p.Close() != nil || p.OpsAddr() != "" || p.CanCancel() || p.Stalled() != nil {
+		t.Error("nil plane methods not inert")
+	}
+	p.SetMetrics(nil)
+	if rec := p.Progress(); rec.Done != 0 {
+		t.Error("nil plane progress not zero")
+	}
+
+	var r *Run
+	r.Observe(Event{Kind: EvProgress, Cycle: 1})
+	r.Done(1, true)
+	if r.Name() != "" || r.Span().Valid() || r.CancelFlag() != nil || r.Heartbeat() != nil {
+		t.Error("nil run methods not inert")
+	}
+	if r.Abandoned() != nil {
+		t.Error("nil run Abandoned() should be a nil (forever-blocking) channel")
+	}
+
+	var c *Cancel
+	c.Cancel()
+	if c.Cancelled() {
+		t.Error("nil cancel reports cancelled")
+	}
+	var h *Heartbeat
+	h.Store(5)
+	if h.Load() != 0 {
+		t.Error("nil heartbeat loaded non-zero")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Begin(Span{}, "sweep", "paperbench")
+	cell := tr.BeginLane(root, "cell", "fdtd2d/SHM")
+	ph := tr.BeginCycle(cell, "phase", "kernel-0", 10)
+	ph.EndCycle(50)
+	cell.EndCycle(50)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, telemetry.Manifest{Tool: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []telemetry.ChromeEvent `json:"traceEvents"`
+		OtherData   telemetry.Manifest      `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.OtherData.Tool != "test" {
+		t.Errorf("manifest tool = %q", trace.OtherData.Tool)
+	}
+	var xNames []string
+	flows := 0
+	meta := 0
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xNames = append(xNames, ev.Name)
+			if ev.Dur == 0 {
+				t.Errorf("X event %q has zero duration", ev.Name)
+			}
+		case "s", "f":
+			flows++
+		case "M":
+			meta++
+		}
+	}
+	if len(xNames) != 3 {
+		t.Errorf("got %d X events (%v), want 3", len(xNames), xNames)
+	}
+	// The cell sits on its own lane, so a flow arrow links sweep -> cell.
+	if flows != 2 {
+		t.Errorf("got %d flow events, want an s/f pair", flows)
+	}
+	if meta < 3 { // process_name + >= 2 thread_name tracks
+		t.Errorf("got %d metadata events, want process + per-track names", meta)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "tool", LevelInfo)
+	log.Errorf("e %d", 1)
+	log.Infof("i")
+	log.Debugf("d")
+	got := buf.String()
+	if got != "tool: e 1\ntool: i\n" {
+		t.Errorf("LevelInfo output = %q", got)
+	}
+
+	buf.Reset()
+	NewLogger(&buf, "tool", LevelQuiet).Infof("i")
+	NewLogger(&buf, "tool", LevelQuiet).Errorf("e")
+	if buf.String() != "tool: e\n" {
+		t.Errorf("LevelQuiet output = %q", buf.String())
+	}
+
+	buf.Reset()
+	NewLogger(&buf, "tool", LevelDebug).Debugf("d")
+	if buf.String() != "tool: d\n" {
+		t.Errorf("LevelDebug output = %q", buf.String())
+	}
+
+	var nilLog *Logger
+	nilLog.Errorf("no panic")
+	if nilLog.Level() != LevelQuiet {
+		t.Error("nil logger level")
+	}
+
+	if LevelFromFlags(true, true) != LevelQuiet {
+		t.Error("-q should win over -v")
+	}
+	if LevelFromFlags(false, true) != LevelDebug || LevelFromFlags(false, false) != LevelInfo {
+		t.Error("LevelFromFlags mapping")
+	}
+}
+
+func TestPlaneProgressLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	p, err := Start(Options{Tool: "test", TotalCells: 2, ProgressOut: &buf, ProgressEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.BeginRun("wl/SHM")
+	r.Observe(Event{Kind: EvProgress, Cycle: 500})
+
+	rec := p.Progress()
+	if rec.Done != 0 || rec.Total != 2 || len(rec.Active) != 1 || rec.Active[0] != "wl/SHM" {
+		t.Errorf("mid-run record = %+v", rec)
+	}
+
+	r.Observe(Event{Kind: EvPhaseBegin, Phase: PhaseKernel, Index: 0, Cycle: 500})
+	r.Observe(Event{Kind: EvPhaseEnd, Phase: PhaseKernel, Index: 0, Cycle: 900})
+	r.Done(1000, true)
+	r.Done(1000, true) // idempotent
+
+	rec = p.Progress()
+	if rec.Done != 1 || len(rec.Active) != 0 {
+		t.Errorf("post-done record = %+v", rec)
+	}
+	if rec.CellEWMASec <= 0 || rec.ETASec <= 0 {
+		t.Errorf("EWMA/ETA not populated: %+v", rec)
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var last Record
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if !last.Final || last.Done != 1 {
+		t.Errorf("final record = %+v", last)
+	}
+
+	// Phase spans appeared under the cell span.
+	var cell *SpanNode
+	for _, root := range p.Tracer().Tree() {
+		for _, ch := range root.Children {
+			if ch.Span.Name == "wl/SHM" {
+				cell = ch
+			}
+		}
+	}
+	if cell == nil {
+		t.Fatal("cell span missing from tree")
+	}
+	if len(cell.Children) != 1 || cell.Children[0].Span.Name != "kernel-0" {
+		t.Errorf("cell children = %+v", cell.Children)
+	}
+	if cell.Span.Attrs["completed"] != "true" || cell.Span.Attrs["cycles"] != "1000" {
+		t.Errorf("cell attrs = %v", cell.Span.Attrs)
+	}
+}
+
+func TestWatchdogFiresDumpsAndCancels(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Start(Options{
+		Tool:             "test",
+		WatchdogDeadline: 60 * time.Millisecond,
+		WatchdogPoll:     10 * time.Millisecond,
+		WatchdogDir:      dir,
+		WatchdogCancel:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	r := p.BeginRun("wl/SHM")
+	r.Observe(Event{Kind: EvProgress, Cycle: 42})
+
+	select {
+	case <-r.Abandoned():
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not abandon the stalled run")
+	}
+	if !r.CancelFlag().Cancelled() {
+		t.Error("cancel flag not set")
+	}
+	stalled := p.Stalled()
+	if len(stalled) != 1 || stalled[0] != "wl/SHM" {
+		t.Errorf("stalled = %v", stalled)
+	}
+	if rec := p.Progress(); rec.Stalled != 1 {
+		t.Errorf("progress stalled = %d, want 1", rec.Stalled)
+	}
+
+	bundle := filepath.Join(dir, "stall-wl_SHM")
+	for _, f := range []string{"goroutines.txt", "spans.json", "progress.json"} {
+		data, err := os.ReadFile(filepath.Join(bundle, f))
+		if err != nil {
+			t.Fatalf("bundle file %s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("bundle file %s is empty", f)
+		}
+	}
+	var tree []*SpanNode
+	data, _ := os.ReadFile(filepath.Join(bundle, "spans.json"))
+	if err := json.Unmarshal(data, &tree); err != nil {
+		t.Fatalf("spans.json: %v", err)
+	}
+	found := false
+	var walk func(ns []*SpanNode)
+	walk = func(ns []*SpanNode) {
+		for _, n := range ns {
+			if n.Span.Name == "wl/SHM" && n.Span.Kind == "cell" {
+				found = true
+			}
+			walk(n.Children)
+		}
+	}
+	walk(tree)
+	if !found {
+		t.Error("stalled cell span missing from bundle span tree")
+	}
+
+	// The simulated run notices the flag and finishes as cancelled.
+	r.Done(42, false)
+	if got := p.Progress().Done; got != 1 {
+		t.Errorf("done = %d after cancelled cell", got)
+	}
+}
+
+func TestWatchdogSparesLiveRuns(t *testing.T) {
+	p, err := Start(Options{
+		Tool:             "test",
+		WatchdogDeadline: 80 * time.Millisecond,
+		WatchdogPoll:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := p.BeginRun("live")
+	stop := make(chan struct{})
+	go func() {
+		cycle := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				cycle += 100
+				r.Observe(Event{Kind: EvProgress, Cycle: cycle})
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	if len(p.Stalled()) != 0 {
+		t.Errorf("live run declared stalled: %v", p.Stalled())
+	}
+	r.Done(1000, true)
+}
+
+func TestOpsEndpoint(t *testing.T) {
+	p, err := Start(Options{Tool: "test", TotalCells: 1, OpsListen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := p.OpsAddr()
+	if addr == "" {
+		t.Fatal("no ops address")
+	}
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, _ := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Tool   string `json:"tool"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" || health.Tool != "test" {
+		t.Errorf("/healthz body = %q (err %v)", body, err)
+	}
+
+	// Before any cell completes, /metrics serves the minimal liveness
+	// payload with the Prometheus content type.
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK || body != minimalMetrics {
+		t.Errorf("/metrics pre-run = %d %q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+
+	// After a run completes, /metrics serves exactly the renderer's bytes.
+	r := p.BeginRun("wl/SHM")
+	r.Done(100, true)
+	want := "# HELP x y\nx 1\n"
+	p.SetMetrics(func(w io.Writer) error {
+		_, err := io.WriteString(w, want)
+		return err
+	})
+	if _, body, _ = get("/metrics"); body != want {
+		t.Errorf("/metrics = %q, want the installed renderer's exact bytes", body)
+	}
+
+	code, body, _ = get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress = %d", code)
+	}
+	var prog struct {
+		Progress Record      `json:"progress"`
+		Spans    []*SpanNode `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress body: %v", err)
+	}
+	if prog.Progress.Done != 1 || len(prog.Spans) == 0 {
+		t.Errorf("/progress = %+v", prog)
+	}
+
+	if code, _, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("ops endpoint still serving after Close")
+	}
+}
+
+func TestFlagsStart(t *testing.T) {
+	var f Flags
+	if f.Enabled() {
+		t.Fatal("zero Flags enabled")
+	}
+	p, shutdown, err := f.Start("test", 0, io.Discard, nil)
+	if err != nil || p != nil {
+		t.Fatalf("disabled Start = %v plane, err %v", p, err)
+	}
+	if err := shutdown(telemetry.Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	f = Flags{
+		ProgressOut: filepath.Join(dir, "progress.jsonl"),
+		SpanTrace:   filepath.Join(dir, "spans.trace.json"),
+		SpanLog:     filepath.Join(dir, "spans.jsonl"),
+	}
+	p, shutdown, err = f.Start("test", 3, io.Discard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("enabled Start returned nil plane")
+	}
+	r := p.BeginRun("cell")
+	r.Done(10, true)
+	if err := shutdown(telemetry.Manifest{Tool: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"progress.jsonl", "spans.trace.json", "spans.jsonl"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	var trace struct {
+		TraceEvents []telemetry.ChromeEvent `json:"traceEvents"`
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "spans.trace.json"))
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("span trace: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// opsServer is the embedded HTTP ops endpoint: /healthz (liveness JSON),
+// /metrics (the latest completed run's Prometheus snapshot, byte-identical
+// to the batch exporter's output), /progress (the live span tree plus the
+// current progress record), and net/http/pprof under /debug/pprof/.
+type opsServer struct {
+	p     *Plane
+	lis   net.Listener
+	srv   *http.Server
+	start time.Time
+	done  chan struct{}
+}
+
+// minimalMetrics is what /metrics serves before the first cell completes:
+// a well-formed, non-empty Prometheus payload so scrapers stay green from
+// process start.
+const minimalMetrics = "# HELP shmgpu_ops_up Live ops endpoint is serving; run metrics appear after the first completed cell.\n" +
+	"# TYPE shmgpu_ops_up gauge\n" +
+	"shmgpu_ops_up 1\n"
+
+func startOps(p *Plane, addr string) (*opsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ops listener: %w", err)
+	}
+	o := &opsServer{p: p, lis: lis, start: time.Now(), done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", o.handleHealthz)
+	mux.HandleFunc("/metrics", o.handleMetrics)
+	mux.HandleFunc("/progress", o.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	o.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(o.done)
+		o.srv.Serve(lis)
+	}()
+	return o, nil
+}
+
+func (o *opsServer) addr() string { return o.lis.Addr().String() }
+
+func (o *opsServer) close() {
+	o.srv.Close()
+	<-o.done
+}
+
+func (o *opsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rec := o.p.Progress()
+	out := struct {
+		Status    string  `json:"status"`
+		Tool      string  `json:"tool,omitempty"`
+		UptimeSec float64 `json:"uptime_sec"`
+		Done      int     `json:"done"`
+		Total     int     `json:"total,omitempty"`
+		Active    int     `json:"active"`
+		Stalled   int     `json:"stalled"`
+	}{
+		Status:    "ok",
+		Tool:      o.p.opts.Tool,
+		UptimeSec: time.Since(o.start).Seconds(),
+		Done:      rec.Done,
+		Total:     rec.Total,
+		Active:    len(rec.Active),
+		Stalled:   rec.Stalled,
+	}
+	writeJSON(w, out)
+}
+
+// handleMetrics serves exactly the bytes the installed renderer produces —
+// the same WritePrometheus path the batch exporter commits to disk — so a
+// scrape after the last cell byte-matches the committed dump. Before any
+// cell completes it serves the minimal liveness payload.
+func (o *opsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fn := o.p.metrics()
+	if fn == nil {
+		fmt.Fprint(w, minimalMetrics)
+		return
+	}
+	if err := fn(w); err != nil {
+		// Headers are gone; all we can do is note the truncation.
+		fmt.Fprintf(w, "# metrics render error: %v\n", err)
+	}
+}
+
+func (o *opsServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Progress Record      `json:"progress"`
+		Stalled  []string    `json:"stalled_runs,omitempty"`
+		Spans    []*SpanNode `json:"spans"`
+	}{
+		Progress: o.p.Progress(),
+		Stalled:  o.p.Stalled(),
+		Spans:    o.p.tracer.Tree(),
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

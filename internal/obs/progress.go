@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is the per-run progress cell the simulator's EvProgress events
+// feed: a single atomic cycle counter, written from the simulation
+// goroutine (alloc-free) and read by the reporter and the watchdog on their
+// own goroutines.
+type Heartbeat struct {
+	v atomic.Uint64
+}
+
+// Store publishes the run's current cycle.
+func (h *Heartbeat) Store(cycle uint64) {
+	if h == nil {
+		return
+	}
+	h.v.Store(cycle)
+}
+
+// Load returns the last published cycle.
+func (h *Heartbeat) Load() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.v.Load()
+}
+
+// Record is one streaming progress line: cells done/total, live throughput
+// and the EWMA-based completion estimate. Emitted as JSON, one object per
+// line, to the -progress destination.
+type Record struct {
+	Type    string   `json:"type"` // always "progress"
+	Tool    string   `json:"tool,omitempty"`
+	Done    int      `json:"done"`
+	Total   int      `json:"total,omitempty"`
+	Active  []string `json:"active,omitempty"`
+	Stalled int      `json:"stalled,omitempty"`
+	// ElapsedSec is wall-clock seconds since the plane started.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// CyclesPerSec is the simulated-cycle throughput over the last
+	// reporting interval, summed across active runs.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// CellEWMASec is the exponentially-weighted moving average of per-cell
+	// wall time (alpha 0.3); ETASec divides the remaining cells by it,
+	// scaled by the current concurrency.
+	CellEWMASec float64 `json:"cell_ewma_sec,omitempty"`
+	ETASec      float64 `json:"eta_sec,omitempty"`
+	// Final marks the last record of a sweep.
+	Final bool `json:"final,omitempty"`
+}
+
+// ewmaAlpha weights the most recent cell completion in the per-cell
+// wall-time average.
+const ewmaAlpha = 0.3
+
+// progress aggregates run completions and live heartbeats for one plane.
+type progress struct {
+	mu      sync.Mutex
+	tool    string
+	total   int
+	done    int
+	stalled int
+	start   time.Time
+
+	ewmaSec float64
+	ewmaOK  bool
+
+	// doneCycles accumulates completed runs' final cycle counts; the live
+	// sum adds active heartbeats on top.
+	doneCycles uint64
+	active     map[*Run]struct{}
+
+	lastSum  uint64
+	lastPoll time.Time
+}
+
+func newProgress(tool string, total int) *progress {
+	now := time.Now()
+	return &progress{
+		tool:     tool,
+		total:    total,
+		start:    now,
+		lastPoll: now,
+		active:   make(map[*Run]struct{}),
+	}
+}
+
+func (p *progress) register(r *Run) {
+	p.mu.Lock()
+	p.active[r] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *progress) finish(r *Run, cycles uint64, wall time.Duration) {
+	p.mu.Lock()
+	delete(p.active, r)
+	p.done++
+	p.doneCycles += cycles
+	sec := wall.Seconds()
+	if p.ewmaOK {
+		p.ewmaSec = ewmaAlpha*sec + (1-ewmaAlpha)*p.ewmaSec
+	} else {
+		p.ewmaSec = sec
+		p.ewmaOK = true
+	}
+	p.mu.Unlock()
+}
+
+func (p *progress) markStalled() {
+	p.mu.Lock()
+	p.stalled++
+	p.mu.Unlock()
+}
+
+// record computes one progress Record from the current state.
+func (p *progress) record(final bool) Record {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	sum := p.doneCycles
+	names := make([]string, 0, len(p.active))
+	for r := range p.active {
+		sum += r.hb.Load()
+		names = append(names, r.name)
+	}
+	sort.Strings(names)
+
+	rec := Record{
+		Type:       "progress",
+		Tool:       p.tool,
+		Done:       p.done,
+		Total:      p.total,
+		Active:     names,
+		Stalled:    p.stalled,
+		ElapsedSec: now.Sub(p.start).Seconds(),
+		Final:      final,
+	}
+	if dt := now.Sub(p.lastPoll).Seconds(); dt > 0 && sum >= p.lastSum {
+		rec.CyclesPerSec = float64(sum-p.lastSum) / dt
+	}
+	p.lastSum = sum
+	p.lastPoll = now
+	if p.ewmaOK {
+		rec.CellEWMASec = p.ewmaSec
+		if p.total > 0 {
+			remaining := p.total - p.done
+			if remaining < 0 {
+				remaining = 0
+			}
+			conc := len(p.active)
+			if conc < 1 {
+				conc = 1
+			}
+			rec.ETASec = float64(remaining) * p.ewmaSec / float64(conc)
+		}
+	}
+	return rec
+}
+
+// writeRecord emits one JSON progress line to w; errors are swallowed (a
+// broken progress pipe must never fail the sweep).
+func writeRecord(w io.Writer, rec Record) {
+	if w == nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}

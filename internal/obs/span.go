@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"shmgpu/internal/telemetry"
+)
+
+// SpanRecord is the stored form of one span: dual timestamps (wall-clock
+// microseconds since the tracer started, simulated cycles when known), the
+// parent link that makes the trace hierarchical, and the lane the span
+// renders on in the Chrome trace (one lane per concurrently-running cell).
+type SpanRecord struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"` // -1 for roots
+	Kind   string `json:"kind"`   // sweep, cell, phase, ...
+	Name   string `json:"name"`
+	Lane   int    `json:"lane"`
+	// StartUS/EndUS are wall-clock microseconds since the tracer started
+	// (monotonic; EndUS is meaningful only once Open is false).
+	StartUS int64 `json:"start_us"`
+	EndUS   int64 `json:"end_us"`
+	// StartCycle/EndCycle are the simulated-clock timestamps, when the
+	// producer knows them (0 otherwise).
+	StartCycle uint64            `json:"start_cycle,omitempty"`
+	EndCycle   uint64            `json:"end_cycle,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Open       bool              `json:"open"`
+
+	// ownLane marks spans that allocated their lane (freed at End).
+	ownLane bool
+}
+
+// SpanNode is one node of the nested span tree snapshot (the /progress
+// endpoint's payload and the watchdog bundle's spans.json).
+type SpanNode struct {
+	Span     SpanRecord  `json:"span"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tracer records hierarchical spans. It is safe for concurrent use (sweep
+// workers begin and end cell spans concurrently); individual spans must
+// each be driven by one goroutine at a time. A nil *Tracer is a valid
+// disabled tracer: Begin returns a no-op Span and every method is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+	lanes []bool // busy lanes
+
+	// clock returns monotonic microseconds since the tracer started;
+	// replaceable in tests.
+	clock func() int64
+
+	// sink, when set, receives one JSON line per span begin and end.
+	sink    io.Writer
+	sinkErr error
+}
+
+// NewTracer builds a tracer. spanLog, when non-nil, receives the streaming
+// span log: one JSON line per span begin and per span end, in wall-clock
+// order, so a consumer can follow a live sweep without waiting for the
+// final trace.
+func NewTracer(spanLog io.Writer) *Tracer {
+	start := time.Now()
+	return &Tracer{
+		clock: func() int64 { return time.Since(start).Microseconds() },
+		sink:  spanLog,
+	}
+}
+
+// Span is a handle to one open span. The zero value is a valid no-op span,
+// which is what emit sites hold when tracing is off.
+type Span struct {
+	t  *Tracer
+	id int
+}
+
+// Valid reports whether the span is backed by a tracer.
+func (s Span) Valid() bool { return s.t != nil }
+
+// ID returns the span's id within its tracer (-1 for the zero span).
+func (s Span) ID() int {
+	if s.t == nil {
+		return -1
+	}
+	return s.id
+}
+
+// Begin opens a span under parent (pass the zero Span for a root), on the
+// parent's lane.
+func (t *Tracer) Begin(parent Span, kind, name string) Span {
+	return t.begin(parent, kind, name, 0, false)
+}
+
+// BeginCycle is Begin with a known sim-clock start timestamp.
+func (t *Tracer) BeginCycle(parent Span, kind, name string, cycle uint64) Span {
+	return t.begin(parent, kind, name, cycle, false)
+}
+
+// BeginLane is Begin on a freshly-allocated lane (released when the span
+// ends). Sweep cells use it so concurrently-running cells render on
+// separate tracks instead of nesting spuriously by time containment.
+func (t *Tracer) BeginLane(parent Span, kind, name string) Span {
+	return t.begin(parent, kind, name, 0, true)
+}
+
+func (t *Tracer) begin(parent Span, kind, name string, cycle uint64, ownLane bool) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	rec := SpanRecord{
+		ID:         len(t.spans),
+		Parent:     -1,
+		Kind:       kind,
+		Name:       name,
+		StartUS:    t.clock(),
+		StartCycle: cycle,
+		Open:       true,
+		ownLane:    ownLane,
+	}
+	if parent.t == t && parent.id < len(t.spans) {
+		rec.Parent = parent.id
+		rec.Lane = t.spans[parent.id].Lane
+	} else {
+		ownLane = true
+		rec.ownLane = true
+	}
+	if ownLane {
+		rec.Lane = t.allocLaneLocked()
+	}
+	t.spans = append(t.spans, rec)
+	t.streamLocked("begin", rec)
+	t.mu.Unlock()
+	return Span{t: t, id: rec.ID}
+}
+
+// allocLaneLocked returns the lowest free lane, growing the lane set when
+// every existing lane is busy.
+func (t *Tracer) allocLaneLocked() int {
+	for i, busy := range t.lanes {
+		if !busy {
+			t.lanes[i] = true
+			return i
+		}
+	}
+	t.lanes = append(t.lanes, true)
+	return len(t.lanes) - 1
+}
+
+// Annotate attaches a key/value attribute to the span (shown in the Chrome
+// trace args and the span log's end record).
+func (s Span) Annotate(key, value string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.id]
+	if rec.Attrs == nil {
+		rec.Attrs = make(map[string]string)
+	}
+	rec.Attrs[key] = value
+	s.t.mu.Unlock()
+}
+
+// End closes the span.
+func (s Span) End() { s.end(0) }
+
+// EndCycle closes the span with a known sim-clock end timestamp.
+func (s Span) EndCycle(cycle uint64) { s.end(cycle) }
+
+func (s Span) end(cycle uint64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.id]
+	if rec.Open {
+		rec.Open = false
+		rec.EndUS = s.t.clock()
+		if cycle != 0 {
+			rec.EndCycle = cycle
+		}
+		if rec.ownLane && rec.Lane < len(s.t.lanes) {
+			s.t.lanes[rec.Lane] = false
+		}
+		s.t.streamLocked("end", *rec)
+	}
+	s.t.mu.Unlock()
+}
+
+// spanLogLine is one streaming span-log record.
+type spanLogLine struct {
+	Ev   string     `json:"ev"` // "begin" or "end"
+	Span SpanRecord `json:"span"`
+}
+
+func (t *Tracer) streamLocked(ev string, rec SpanRecord) {
+	if t.sink == nil || t.sinkErr != nil {
+		return
+	}
+	data, err := json.Marshal(spanLogLine{Ev: ev, Span: rec})
+	if err != nil {
+		t.sinkErr = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := t.sink.Write(data); err != nil {
+		t.sinkErr = err
+	}
+}
+
+// Err returns the first streaming-sink write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Snapshot returns a copy of every span recorded so far (open spans
+// included), in begin order.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// Tree returns the nested span forest (usually one sweep root) built from
+// the current snapshot.
+func (t *Tracer) Tree() []*SpanNode {
+	spans := t.Snapshot()
+	nodes := make([]*SpanNode, len(spans))
+	for i := range spans {
+		nodes[i] = &SpanNode{Span: spans[i]}
+	}
+	var roots []*SpanNode
+	for i := range spans {
+		if p := spans[i].Parent; p >= 0 && p < len(nodes) {
+			nodes[p].Children = append(nodes[p].Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// WriteChromeTrace exports the spans as Chrome trace-event JSON through the
+// telemetry layer's shared envelope writer: one complete ("X") event per
+// span on its lane's track, plus flow arrows linking cross-lane parents to
+// children, so Perfetto shows the sweep→cell→phase causality. Open spans
+// export with their current duration.
+func (t *Tracer) WriteChromeTrace(w io.Writer, m telemetry.Manifest) error {
+	if t == nil {
+		return telemetry.WriteChromeEvents(w, nil, m)
+	}
+	t.mu.Lock()
+	now := t.clock()
+	spans := make([]SpanRecord, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	var evs []telemetry.ChromeEvent
+	evs = append(evs, telemetry.ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePidSpans,
+		Args: map[string]interface{}{"name": "obs spans"},
+	})
+	lanes := map[int]bool{}
+	for _, sp := range spans {
+		lanes[sp.Lane] = true
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+	for _, l := range laneIDs {
+		evs = append(evs, telemetry.ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePidSpans, Tid: l,
+			Args: map[string]interface{}{"name": fmt.Sprintf("track %d", l)},
+		})
+	}
+
+	for _, sp := range spans {
+		end := sp.EndUS
+		if sp.Open {
+			end = now
+		}
+		dur := uint64(1)
+		if end > sp.StartUS {
+			dur = uint64(end - sp.StartUS)
+		}
+		args := map[string]interface{}{
+			"id":     sp.ID,
+			"parent": sp.Parent,
+			"open":   sp.Open,
+		}
+		if sp.StartCycle != 0 || sp.EndCycle != 0 {
+			args["start_cycle"] = sp.StartCycle
+			args["end_cycle"] = sp.EndCycle
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		evs = append(evs, telemetry.ChromeEvent{
+			Name: sp.Name, Ph: "X", Ts: uint64(sp.StartUS), Dur: dur,
+			Pid: chromePidSpans, Tid: sp.Lane, Cat: sp.Kind, Args: args,
+		})
+		// Cross-lane parent links render as flow arrows (s -> f pairs).
+		if sp.Parent >= 0 && sp.Parent < len(spans) && spans[sp.Parent].Lane != sp.Lane {
+			id := fmt.Sprintf("span-%d", sp.ID)
+			evs = append(evs,
+				telemetry.ChromeEvent{
+					Name: "spawn", Ph: "s", Ts: uint64(sp.StartUS), ID: id,
+					Pid: chromePidSpans, Tid: spans[sp.Parent].Lane, Cat: "flow",
+				},
+				telemetry.ChromeEvent{
+					Name: "spawn", Ph: "f", BP: "e", Ts: uint64(sp.StartUS), ID: id,
+					Pid: chromePidSpans, Tid: sp.Lane, Cat: "flow",
+				},
+			)
+		}
+	}
+	return telemetry.WriteChromeEvents(w, evs, m)
+}
+
+// chromePidSpans is the span tracer's Chrome trace process id. Span traces
+// are separate files from collector traces, so the id only needs to be
+// stable, not disjoint.
+const chromePidSpans = 0

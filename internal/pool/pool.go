@@ -25,7 +25,10 @@ import "sync/atomic"
 // model needs.
 type Pool struct {
 	tasks []func()
-	next  atomic.Int64
+	// tagged is the RunTagged batch; at most one of tasks/tagged is
+	// non-nil during a batch.
+	tagged []func(worker int)
+	next   atomic.Int64
 	// wake and join are buffered to the worker count so the coordinator
 	// never blocks handing out a batch; quit ends the workers at Close.
 	wake chan struct{}
@@ -51,16 +54,16 @@ func New(parallelism int) *Pool {
 		workers: workers,
 	}
 	for i := 0; i < workers; i++ {
-		go p.worker() //shm:parallel-ok — fixed pool worker; every batch joins before Run returns
+		go p.worker(i + 1) //shm:parallel-ok — fixed pool worker; every batch joins before Run returns
 	}
 	return p
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
 	for {
 		select {
 		case <-p.wake:
-			p.drain()
+			p.drain(id)
 			p.join <- struct{}{}
 		case <-p.quit:
 			return
@@ -68,10 +71,19 @@ func (p *Pool) worker() {
 	}
 }
 
-// drain claims and executes tasks until the batch is exhausted.
-func (p *Pool) drain() {
+// drain claims and executes tasks until the batch is exhausted. id is the
+// draining worker's slot (0 = the coordinator) and is handed to tagged
+// tasks.
+func (p *Pool) drain(id int) {
 	for {
 		i := int(p.next.Add(1)) - 1
+		if p.tagged != nil {
+			if i >= len(p.tagged) {
+				return
+			}
+			p.tagged[i](id)
+			continue
+		}
 		if i >= len(p.tasks) {
 			return
 		}
@@ -89,11 +101,28 @@ func (p *Pool) Run(tasks []func()) {
 	for i := 0; i < p.workers; i++ {
 		p.wake <- struct{}{}
 	}
-	p.drain()
+	p.drain(0)
 	for i := 0; i < p.workers; i++ {
 		<-p.join
 	}
 	p.tasks = nil
+}
+
+// RunTagged is Run for tasks that want the identity of the worker slot
+// executing them (0 = the coordinator, 1..N-1 the pool goroutines). The
+// sweep prefetcher threads the slot into cell spans so span traces show
+// which worker ran which cell.
+func (p *Pool) RunTagged(tasks []func(worker int)) {
+	p.tagged = tasks
+	p.next.Store(0)
+	for i := 0; i < p.workers; i++ {
+		p.wake <- struct{}{}
+	}
+	p.drain(0)
+	for i := 0; i < p.workers; i++ {
+		<-p.join
+	}
+	p.tagged = nil
 }
 
 // Parallelism returns the pool's total parallelism (workers + caller).

@@ -8,11 +8,12 @@ import (
 	"shmgpu/internal/stats"
 )
 
-// chromeEvent is one trace event in the Chrome trace-event JSON format
+// ChromeEvent is one trace event in the Chrome trace-event JSON format
 // (loadable in chrome://tracing and Perfetto). Timestamps are in
-// microseconds by convention; we map one simulated cycle to one
-// microsecond, so trace durations read directly as cycles.
-type chromeEvent struct {
+// microseconds by convention; the collector exporters map one simulated
+// cycle to one microsecond, so trace durations read directly as cycles,
+// while wall-clock producers (the obs span tracer) use real microseconds.
+type ChromeEvent struct {
 	Name string                 `json:"name"`
 	Ph   string                 `json:"ph"`
 	Ts   uint64                 `json:"ts"`
@@ -21,11 +22,13 @@ type chromeEvent struct {
 	Tid  int                    `json:"tid"`
 	Cat  string                 `json:"cat,omitempty"`
 	S    string                 `json:"s,omitempty"`
+	ID   string                 `json:"id,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
 	Args map[string]interface{} `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 	// OtherData carries the run manifest; tracing UIs show it in the
 	// metadata panel.
@@ -36,13 +39,27 @@ type chromeTrace struct {
 // counters); pid p+1 is memory partition p (lifecycle events).
 const chromePidGPU = 0
 
+// WriteChromeEvents wraps an already-built event list in the trace-event
+// JSON envelope. Both the collector exporter below and the obs span tracer
+// funnel through it, so every trace artifact the repository produces shares
+// one envelope shape.
+func WriteChromeEvents(w io.Writer, evs []ChromeEvent, m Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData:       m,
+	})
+}
+
 // WriteChromeTrace exports the collector's timeline and captured lifecycle
 // events as Chrome trace-event JSON. The output is deterministic for a
 // deterministic run (map args marshal with sorted keys).
 func WriteChromeTrace(w io.Writer, c *Collector, sum RunSummary, m Manifest) error {
-	var evs []chromeEvent
+	var evs []ChromeEvent
 
-	evs = append(evs, chromeEvent{
+	evs = append(evs, ChromeEvent{
 		Name: "process_name", Ph: "M", Pid: chromePidGPU,
 		Args: map[string]interface{}{"name": fmt.Sprintf("gpu %s/%s", sum.Workload, sum.Scheme)},
 	})
@@ -61,14 +78,14 @@ func WriteChromeTrace(w io.Writer, c *Collector, sum RunSummary, m Manifest) err
 			traffic[cl.String()] = d.Traffic.Bytes(cl)
 		}
 		evs = append(evs,
-			chromeEvent{Name: "dram traffic (bytes/interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU, Args: traffic},
-			chromeEvent{Name: "ipc", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+			ChromeEvent{Name: "dram traffic (bytes/interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU, Args: traffic},
+			ChromeEvent{Name: "ipc", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
 				Args: map[string]interface{}{"ipc": float64(d.Instructions) / float64(interval)}},
-			chromeEvent{Name: "l2 misses (per interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+			ChromeEvent{Name: "l2 misses (per interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
 				Args: map[string]interface{}{"misses": d.L2.Misses}},
-			chromeEvent{Name: "dram pending (gauge)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+			ChromeEvent{Name: "dram pending (gauge)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
 				Args: map[string]interface{}{"pending": d.DRAMPending}},
-			chromeEvent{Name: "detector activity (per interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
+			ChromeEvent{Name: "detector activity (per interval)", Ph: "C", Ts: d.Cycle, Pid: chromePidGPU,
 				Args: map[string]interface{}{
 					"arms":       d.Events[EvMonitorArm],
 					"detections": d.Events[EvDetection],
@@ -95,7 +112,7 @@ func WriteChromeTrace(w io.Writer, c *Collector, sum RunSummary, m Manifest) err
 			if dur == 0 {
 				dur = 1
 			}
-			evs = append(evs, chromeEvent{
+			evs = append(evs, ChromeEvent{
 				Name: "mee-read", Ph: "X", Ts: start, Dur: dur,
 				Pid: pid, Tid: int(e.Unit), Cat: "mee",
 			})
@@ -104,7 +121,7 @@ func WriteChromeTrace(w io.Writer, c *Collector, sum RunSummary, m Manifest) err
 			if e.Class&1 != 0 {
 				name = "detect-stream"
 			}
-			evs = append(evs, chromeEvent{
+			evs = append(evs, ChromeEvent{
 				Name: name, Ph: "i", Ts: e.Cycle, Pid: pid, Tid: int(e.Unit),
 				Cat: "detector", S: "t",
 				Args: map[string]interface{}{
@@ -116,11 +133,5 @@ func WriteChromeTrace(w io.Writer, c *Collector, sum RunSummary, m Manifest) err
 		}
 	}
 
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(chromeTrace{
-		TraceEvents:     evs,
-		DisplayTimeUnit: "ms",
-		OtherData:       m,
-	})
+	return WriteChromeEvents(w, evs, m)
 }

@@ -39,6 +39,7 @@ import (
 
 	"shmgpu/internal/experiments"
 	"shmgpu/internal/gpu"
+	"shmgpu/internal/obs"
 	"shmgpu/internal/report"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/telemetry"
@@ -116,6 +117,18 @@ func RunWithTelemetrySeeded(cfg Config, workloadName, schemeName string, seed in
 		return Result{}, nil, err
 	}
 	return experiments.RunInstrumentedSeeded(cfg, workloadName, seed, sch, tcfg)
+}
+
+// RunObservedSeeded is RunWithTelemetrySeeded with a live-observability
+// run handle attached (see internal/obs): the simulator feeds the run's
+// heartbeat and phase spans and honours its cancel flag. A nil orun is
+// exactly RunWithTelemetrySeeded.
+func RunObservedSeeded(cfg Config, workloadName, schemeName string, seed int64, tcfg TelemetryConfig, orun *obs.Run) (Result, *Collector, error) {
+	sch, err := scheme.ByName(schemeName)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return experiments.RunObservedSeeded(cfg, workloadName, seed, sch, tcfg, orun)
 }
 
 // Summarize converts a Result into the exporter-facing RunSummary.

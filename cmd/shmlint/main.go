@@ -56,6 +56,10 @@ func run(args []string) int {
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
 	}
+	// Output flags apply to standalone mode only; the vet protocol never
+	// forwards them (printFlags advertises just the analyzer toggles).
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (standalone mode)")
+	ghaOut := fs.Bool("gha", false, "emit GitHub Actions ::error annotations on stdout (standalone mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,7 +78,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "usage: shmlint [flags] <package patterns> | <vet.cfg>")
 		return 2
 	}
-	return runStandalone(active, rest)
+	return runStandalone(active, rest, outputOpts{json: *jsonOut, gha: *ghaOut})
 }
 
 // printVersion emits the `-V=full` line in the format cmd/go parses: at

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one clean package and one
+// package carrying a hot-path allocation, and chdirs into it for the
+// duration of the test (the standalone driver resolves the module from
+// the working directory).
+func writeModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module lintme\n\ngo 1.22\n",
+		"clean/clean.go": `package clean
+
+type E struct{ n int }
+
+//shm:tick-root
+func (e *E) tick() { e.n++ }
+
+var _ = (*E).tick
+`,
+		"dirty/dirty.go": `package dirty
+
+type E struct{ xs []int }
+
+//shm:tick-root
+func (e *E) tick() {
+	e.xs = append(e.xs, 1)
+}
+
+var _ = (*E).tick
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+}
+
+// captureStdout runs f with stdout redirected to a pipe and returns what
+// it wrote alongside its exit code.
+func captureStdout(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), code
+}
+
+func TestExitCodes(t *testing.T) {
+	writeModule(t)
+	if got := run([]string{"./clean"}); got != 0 {
+		t.Errorf("clean package: exit %d, want 0", got)
+	}
+	if got := run([]string{"./..."}); got != 1 {
+		t.Errorf("tree with findings: exit %d, want 1", got)
+	}
+	if got := run(nil); got != 2 {
+		t.Errorf("no arguments: exit %d, want 2", got)
+	}
+	if got := run([]string{"./nosuch"}); got != 2 {
+		t.Errorf("unknown package: exit %d, want 2", got)
+	}
+	if got := run([]string{"-not-a-flag"}); got != 2 {
+		t.Errorf("bad flag: exit %d, want 2", got)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	writeModule(t)
+	out, code := captureStdout(t, func() int { return run([]string{"-json", "./..."}) })
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("decoding output: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	d := diags[0]
+	if d.Analyzer != "hotalloc" || d.File != "dirty/dirty.go" || d.Line == 0 {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+
+	out, code = captureStdout(t, func() int { return run([]string{"-json", "./clean"}) })
+	if code != 0 {
+		t.Fatalf("clean: exit %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean run should emit an empty array, got %q", out)
+	}
+}
+
+func TestGHAOutput(t *testing.T) {
+	writeModule(t)
+	out, code := captureStdout(t, func() int { return run([]string{"-gha", "./..."}) })
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "::error file=dirty/dirty.go,line=") {
+		t.Errorf("missing ::error annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "(hotalloc)") {
+		t.Errorf("annotation should name the analyzer:\n%s", out)
+	}
+}

@@ -14,7 +14,7 @@ import (
 // from source. Unlike the per-package vet protocol, this mode sees the
 // whole tree at once, so analyzers' Finish hooks (cross-package checks)
 // run here.
-func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string, opts outputOpts) int {
 	moduleDir, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shmlint: %v\n", err)
@@ -35,6 +35,7 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 
 	var diags []namedDiag
 	results := map[string]map[string]any{}
+	generated := map[string]bool{}
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -46,6 +47,9 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 		}
 		if len(pkg.TypeErrors) > 0 {
 			return 2
+		}
+		for f := range pkg.Generated {
+			generated[f] = true
 		}
 		diags = append(diags, runAnalyzers(analyzers, loader.Fset, pkg.Files, pkg.Types, pkg.Info, results)...)
 	}
@@ -63,10 +67,29 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 		})
 	}
 
+	// Diagnostics in generated files are suppressed: the fix belongs in
+	// the generator, not the output.
+	kept := diags[:0]
+	for _, d := range diags {
+		if !generated[loader.Fset.Position(d.Pos).Filename] {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	switch {
+	case opts.json:
+		emitJSON(loader.Fset, moduleDir, diags)
+	case opts.gha:
+		emitGHA(loader.Fset, moduleDir, diags)
+	default:
+		if len(diags) > 0 {
+			printDiags(loader.Fset, diags)
+		}
+	}
 	if len(diags) == 0 {
 		return 0
 	}
-	printDiags(loader.Fset, diags)
 	return 1
 }
 

@@ -11,7 +11,6 @@ import (
 	"go/types"
 	"io"
 	"os"
-	"sort"
 	"strings"
 
 	"shmgpu/internal/analysis"
@@ -173,16 +172,7 @@ func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*
 }
 
 func printDiags(fset *token.FileSet, diags []namedDiag) {
-	sort.SliceStable(diags, func(i, j int) bool {
-		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return pi.Column < pj.Column
-	})
+	sortDiags(fset, diags)
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", p.Filename, p.Line, p.Column, d.Message, d.analyzer)

@@ -27,8 +27,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 	"strings"
+
+	"shmgpu/internal/analysis/waiver"
 )
 
 // Analyzer describes one static check.
@@ -58,8 +59,8 @@ type Pass struct {
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 
-	// allowLines caches the //shmlint:allow annotations per file.
-	allowLines map[*ast.File]map[int][]string
+	// waivers lazily indexes the package's waiver comments.
+	waivers *waiver.Sheet
 }
 
 // Finishing carries all per-package results to an Analyzer's Finish hook.
@@ -90,52 +91,20 @@ func (f *Finishing) Reportf(pos token.Pos, format string, args ...any) {
 	f.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-var allowRE = regexp.MustCompile(`//shmlint:allow\s+([a-z0-9_,-]+)`)
+// Waivers returns the package's lazily built waiver sheet, the single
+// parser for `//shmlint:allow` and `//shm:*` annotations.
+func (p *Pass) Waivers() *waiver.Sheet {
+	if p.waivers == nil {
+		p.waivers = waiver.New(p.Fset, p.Files)
+	}
+	return p.waivers
+}
 
 // Allowed reports whether the line containing pos carries a
 // `//shmlint:allow <check>` annotation for the named check. The annotation
 // must appear in a comment on the same source line as the flagged node.
 func (p *Pass) Allowed(check string, pos token.Pos) bool {
-	file := p.fileFor(pos)
-	if file == nil {
-		return false
-	}
-	if p.allowLines == nil {
-		p.allowLines = map[*ast.File]map[int][]string{}
-	}
-	lines, ok := p.allowLines[file]
-	if !ok {
-		lines = map[int][]string{}
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				ln := p.Fset.Position(c.Pos()).Line
-				for _, name := range strings.Split(m[1], ",") {
-					lines[ln] = append(lines[ln], strings.TrimSpace(name))
-				}
-			}
-		}
-		p.allowLines[file] = lines
-	}
-	ln := p.Fset.Position(pos).Line
-	for _, name := range lines[ln] {
-		if name == check {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *Pass) fileFor(pos token.Pos) *ast.File {
-	for _, f := range p.Files {
-		if f.FileStart <= pos && pos < f.FileEnd {
-			return f
-		}
-	}
-	return nil
+	return p.Waivers().Allow(check, pos)
 }
 
 // IsTestFile reports whether the file containing pos is a _test.go file.

@@ -1,0 +1,468 @@
+// Package cfg builds intraprocedural control-flow graphs from Go ASTs, in
+// the spirit of golang.org/x/tools/go/cfg but dependency-free, for the
+// flow-sensitive analyzers in this repository's lint suite.
+//
+// A Graph is a list of basic blocks; each block holds the statements and
+// control expressions (if/for/switch conditions) that execute in it, in
+// order, plus successor edges. Construction is purely syntactic: it handles
+// if/else, for (including range), switch and type switch (with
+// fallthrough), select, labeled statements, break/continue/goto with and
+// without labels, and return. Defer and go statements are recorded as
+// ordinary nodes (they transfer no intraprocedural control).
+//
+// Two derived facts drive the analyzers:
+//
+//   - Reachable marks blocks reachable from the entry, so diagnostics are
+//     never raised on dead code.
+//
+//   - PanicOnly marks blocks from which every path terminates in a call to
+//     a no-return function (panic, os.Exit, invariant.Failf, ...) before
+//     the function can return. The hot-path analyzers skip those blocks:
+//     an allocation that only feeds a panic message is failure-path cost,
+//     not steady-state cost.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the statements and control expressions executed in this
+	// block, in order. Control expressions (conditions, switch tags, range
+	// operands) appear as ast.Expr entries.
+	Nodes []ast.Node
+	// Succs are the successor blocks.
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	// Blocks holds every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// blockOf maps each statement to the block it starts in.
+	blockOf map[ast.Stmt]*Block
+}
+
+// Entry returns the entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// BlockOf returns the block in which stmt executes, or nil for statements
+// outside the graph (e.g. inside a nested function literal).
+func (g *Graph) BlockOf(stmt ast.Stmt) *Block { return g.blockOf[stmt] }
+
+// builder tracks construction state.
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil after a terminator.
+	cur *Block
+	// breakTo/continueTo are the innermost unlabeled targets.
+	breakTo, continueTo *Block
+	// labels maps a label name to its break/continue targets and, for
+	// goto, the labeled statement's own block.
+	labels map[string]*labelInfo
+	// pendingLabeled is the labeled statement whose child is about to be
+	// built, so `L: for ...` binds break/continue targets to L.
+	pendingLabeled *ast.LabeledStmt
+}
+
+type labelInfo struct {
+	breakTo    *Block
+	continueTo *Block
+	target     *Block   // block the labeled statement starts
+	pending    []*Block // gotos seen before the label (forward goto)
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{blockOf: map[ast.Stmt]*Block{}}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+// add records a node in the current block (starting a fresh unreachable
+// block if the previous one was terminated, so trailing dead statements
+// still belong to some block).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	if s, ok := n.(ast.Stmt); ok {
+		if _, seen := b.g.blockOf[s]; !seen {
+			b.g.blockOf[s] = b.cur
+		}
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// edge links from -> to (nil from means the path was terminated).
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) labelFor(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.add(s)
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s)
+		b.add(s.Cond)
+		cond := b.cur
+		b.cur = b.newBlock()
+		b.edge(cond, b.cur)
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(cond, b.cur)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		done := b.newBlock()
+		if s.Else == nil {
+			b.edge(cond, done)
+		}
+		b.edge(thenEnd, done)
+		b.edge(elseEnd, done)
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		done := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		post := b.newBlock()
+
+		outerBreak, outerCont := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = done, post
+		if li := b.pendingLabel(s); li != nil {
+			li.breakTo, li.continueTo = done, post
+		}
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, post)
+		b.breakTo, b.continueTo = outerBreak, outerCont
+
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = done
+
+	case *ast.RangeStmt:
+		b.add(s)
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		done := b.newBlock()
+		b.edge(head, done)
+		body := b.newBlock()
+		b.edge(head, body)
+
+		outerBreak, outerCont := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = done, head
+		if li := b.pendingLabel(s); li != nil {
+			li.breakTo, li.continueTo = done, head
+		}
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.breakTo, b.continueTo = outerBreak, outerCont
+		b.cur = done
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init = sw.Init
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init = sw.Init
+			bodyList = sw.Body.List
+		}
+		if init != nil {
+			b.stmt(init)
+		}
+		b.add(s)
+		if sw, ok := s.(*ast.SwitchStmt); ok && sw.Tag != nil {
+			b.add(sw.Tag)
+		}
+		if sw, ok := s.(*ast.TypeSwitchStmt); ok {
+			b.add(sw.Assign)
+		}
+		head := b.cur
+		done := b.newBlock()
+
+		outerBreak := b.breakTo
+		b.breakTo = done
+		if li := b.pendingLabel(s); li != nil {
+			li.breakTo = done
+		}
+		// Build case bodies; fallthrough links a clause end to the next
+		// clause's body.
+		var caseBodies []*Block
+		var caseEnds []*Block
+		hasDefault := false
+		for _, cc := range bodyList {
+			clause := cc.(*ast.CaseClause)
+			if clause.List == nil {
+				hasDefault = true
+			}
+			cb := b.newBlock()
+			b.edge(head, cb)
+			caseBodies = append(caseBodies, cb)
+			b.cur = cb
+			for _, e := range clause.List {
+				b.add(e)
+			}
+			b.stmtList(clause.Body)
+			caseEnds = append(caseEnds, b.cur)
+		}
+		for i, end := range caseEnds {
+			if end == nil {
+				continue
+			}
+			// A clause ending in fallthrough flows to the next clause body
+			// instead of done.
+			if fallsThrough(bodyList[i].(*ast.CaseClause)) && i+1 < len(caseBodies) {
+				b.edge(end, caseBodies[i+1])
+			} else {
+				b.edge(end, done)
+			}
+		}
+		if !hasDefault {
+			b.edge(head, done)
+		}
+		b.breakTo = outerBreak
+		b.cur = done
+
+	case *ast.SelectStmt:
+		b.add(s)
+		head := b.cur
+		done := b.newBlock()
+		outerBreak := b.breakTo
+		b.breakTo = done
+		if li := b.pendingLabel(s); li != nil {
+			li.breakTo = done
+		}
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, done)
+		}
+		b.breakTo = outerBreak
+		b.cur = done
+
+	case *ast.LabeledStmt:
+		li := b.labelFor(s.Label.Name)
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		for _, from := range li.pending {
+			b.edge(from, target)
+		}
+		li.pending = nil
+		li.target = target
+		b.cur = target
+		b.pendingLabeled = s
+		b.stmt(s.Stmt)
+		b.pendingLabeled = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelFor(s.Label.Name).breakTo)
+			} else {
+				b.edge(b.cur, b.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelFor(s.Label.Name).continueTo)
+			} else {
+				b.edge(b.cur, b.continueTo)
+			}
+			b.cur = nil
+		case token.GOTO:
+			li := b.labelFor(s.Label.Name)
+			if li.target != nil {
+				b.edge(b.cur, li.target)
+			} else {
+				li.pending = append(li.pending, b.cur)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder via fallsThrough; the statement
+			// itself is just recorded.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	default:
+		// Plain statements: declarations, assignments, expressions, send,
+		// inc/dec, defer, go.
+		b.add(s)
+	}
+}
+
+// fallsThrough reports whether a case clause ends in a fallthrough.
+func fallsThrough(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return false
+	}
+	br, ok := cc.Body[len(cc.Body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// pendingLabel returns the label info attached to stmt when it is the
+// direct child of a labeled statement (so `L: for ...` lets `break L` and
+// `continue L` resolve), clearing the pending marker.
+func (b *builder) pendingLabel(stmt ast.Stmt) *labelInfo {
+	if b.pendingLabeled != nil && b.pendingLabeled.Stmt == stmt {
+		li := b.labelFor(b.pendingLabeled.Label.Name)
+		return li
+	}
+	return nil
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(bl *Block) {
+		if bl == nil || seen[bl] {
+			return
+		}
+		seen[bl] = true
+		for _, s := range bl.Succs {
+			walk(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		walk(g.Blocks[0])
+	}
+	return seen
+}
+
+// PanicOnly returns the set of blocks from which every path reaches a
+// no-return call (as judged by isNoReturn) before the function can return.
+// A block is panic-only if it contains a no-return call itself, or if it
+// has successors and all of them are panic-only. Blocks that can fall off
+// the end of the function (no successors, no no-return call) can return.
+func (g *Graph) PanicOnly(isNoReturn func(*ast.CallExpr) bool) map[*Block]bool {
+	direct := map[*Block]bool{}
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			// Compound statements appear in the block that starts them, but
+			// their bodies live in other blocks; descending into them here
+			// would attribute a branch's panic to the branching block.
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt, *ast.BlockStmt:
+				continue
+			}
+			stop := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if stop {
+					return false
+				}
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false // nested function bodies don't terminate us
+				case *ast.CallExpr:
+					if isNoReturn(m) {
+						stop = true
+						return false
+					}
+				}
+				return true
+			})
+			if stop {
+				direct[bl] = true
+				break
+			}
+		}
+	}
+	panicOnly := map[*Block]bool{}
+	for bl := range direct {
+		panicOnly[bl] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bl := range g.Blocks {
+			if panicOnly[bl] || len(bl.Succs) == 0 {
+				continue
+			}
+			all := true
+			for _, s := range bl.Succs {
+				if !panicOnly[s] {
+					all = false
+					break
+				}
+			}
+			if all {
+				panicOnly[bl] = true
+				changed = true
+			}
+		}
+	}
+	return panicOnly
+}

@@ -1,0 +1,324 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src (one package) and returns the CFG of the named function
+// plus the parsed file.
+func build(t *testing.T, src, fn string) (*Graph, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return New(fd.Body), f
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// callStmt finds the ExprStmt calling the named function.
+func callStmt(t *testing.T, f *ast.File, callee string) ast.Stmt {
+	t.Helper()
+	var found ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == callee {
+				found = es
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("call to %s not found", callee)
+	}
+	return found
+}
+
+func TestIfElseJoins(t *testing.T) {
+	src := `package p
+func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+	j()
+}
+func a(); func b(); func j()
+`
+	g, f := build(t, src, "f")
+	ba := g.BlockOf(callStmt(t, f, "a"))
+	bb := g.BlockOf(callStmt(t, f, "b"))
+	bj := g.BlockOf(callStmt(t, f, "j"))
+	if ba == bb || ba == bj {
+		t.Fatal("then, else, and join statements must be in distinct blocks")
+	}
+	reach := g.Reachable()
+	if !reach[ba] || !reach[bb] || !reach[bj] {
+		t.Fatal("all three blocks must be reachable")
+	}
+	// Both branch ends must flow into the join block.
+	into := 0
+	for _, bl := range g.Blocks {
+		for _, s := range bl.Succs {
+			if s == bj {
+				into++
+			}
+		}
+	}
+	if into < 2 {
+		t.Fatalf("join block has %d predecessors, want >= 2", into)
+	}
+}
+
+func TestReturnMakesDeadCode(t *testing.T) {
+	src := `package p
+func f() {
+	a()
+	return
+	b()
+}
+func a(); func b()
+`
+	g, f := build(t, src, "f")
+	reach := g.Reachable()
+	if !reach[g.BlockOf(callStmt(t, f, "a"))] {
+		t.Fatal("statement before return must be reachable")
+	}
+	if reach[g.BlockOf(callStmt(t, f, "b"))] {
+		t.Fatal("statement after return must be unreachable")
+	}
+}
+
+func TestLoopBreakContinue(t *testing.T) {
+	src := `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			continue
+		}
+		if i == 2 {
+			break
+		}
+		body()
+	}
+	after()
+}
+func body(); func after()
+`
+	g, f := build(t, src, "f")
+	reach := g.Reachable()
+	if !reach[g.BlockOf(callStmt(t, f, "body"))] {
+		t.Fatal("loop body must be reachable")
+	}
+	if !reach[g.BlockOf(callStmt(t, f, "after"))] {
+		t.Fatal("code after the loop must be reachable")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	src := `package p
+func f(xs []int) {
+	for range xs {
+		body()
+	}
+	after()
+}
+func body(); func after()
+`
+	g, f := build(t, src, "f")
+	reach := g.Reachable()
+	if !reach[g.BlockOf(callStmt(t, f, "body"))] || !reach[g.BlockOf(callStmt(t, f, "after"))] {
+		t.Fatal("range body and continuation must both be reachable")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `package p
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	j()
+}
+func a(); func b(); func c(); func j()
+`
+	g, f := build(t, src, "f")
+	ba := g.BlockOf(callStmt(t, f, "a"))
+	bb := g.BlockOf(callStmt(t, f, "b"))
+	// The fallthrough clause must flow into the next clause's body.
+	linked := false
+	for _, s := range ba.Succs {
+		if s == bb {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("fallthrough clause must have the next case body as a successor")
+	}
+	reach := g.Reachable()
+	for _, name := range []string{"a", "b", "c", "j"} {
+		if !reach[g.BlockOf(callStmt(t, f, name))] {
+			t.Fatalf("case body %s must be reachable", name)
+		}
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	src := `package p
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()
+}
+func inner(); func after()
+`
+	g, f := build(t, src, "f")
+	reach := g.Reachable()
+	if !reach[g.BlockOf(callStmt(t, f, "inner"))] || !reach[g.BlockOf(callStmt(t, f, "after"))] {
+		t.Fatal("inner body and post-loop code must be reachable with a labeled break")
+	}
+}
+
+// noReturn treats panic and any call to a function literally named "fail"
+// as no-return.
+func noReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" || fun.Name == "fail"
+	}
+	return false
+}
+
+func TestPanicOnlyDirect(t *testing.T) {
+	src := `package p
+func f(bad bool) {
+	if bad {
+		a()
+		panic("x")
+	}
+	j()
+}
+func a(); func j()
+`
+	g, f := build(t, src, "f")
+	po := g.PanicOnly(noReturn)
+	if !po[g.BlockOf(callStmt(t, f, "a"))] {
+		t.Fatal("statement in a panic-terminated branch must be panic-only")
+	}
+	if po[g.BlockOf(callStmt(t, f, "j"))] {
+		t.Fatal("the join continuation must not be panic-only")
+	}
+}
+
+func TestPanicOnlyTransitive(t *testing.T) {
+	src := `package p
+func f(x int) {
+	if x > 0 {
+		pre()
+		if x > 1 {
+			panic("a")
+		} else {
+			fail()
+		}
+	}
+	j()
+}
+func pre(); func j(); func fail()
+`
+	g, f := build(t, src, "f")
+	po := g.PanicOnly(noReturn)
+	if !po[g.BlockOf(callStmt(t, f, "pre"))] {
+		t.Fatal("block whose every successor panics must be panic-only")
+	}
+	if po[g.BlockOf(callStmt(t, f, "j"))] {
+		t.Fatal("continuation must not be panic-only")
+	}
+}
+
+func TestPanicInNestedFuncLitDoesNotTerminate(t *testing.T) {
+	src := `package p
+func f() {
+	g := func() { panic("inner") }
+	g()
+	j()
+}
+func j()
+`
+	g, f := build(t, src, "f")
+	po := g.PanicOnly(noReturn)
+	if po[g.BlockOf(callStmt(t, f, "j"))] {
+		t.Fatal("a panic inside a nested function literal must not make the outer block panic-only")
+	}
+}
+
+func TestSelectBlocks(t *testing.T) {
+	src := `package p
+func f(a, b chan int) {
+	select {
+	case <-a:
+		x()
+	case <-b:
+		y()
+	}
+	j()
+}
+func x(); func y(); func j()
+`
+	g, f := build(t, src, "f")
+	reach := g.Reachable()
+	for _, name := range []string{"x", "y", "j"} {
+		if !reach[g.BlockOf(callStmt(t, f, name))] {
+			t.Fatalf("select clause %s must be reachable", name)
+		}
+	}
+	if g.BlockOf(callStmt(t, f, "x")) == g.BlockOf(callStmt(t, f, "y")) {
+		t.Fatal("select clauses must be distinct blocks")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	src := `package p
+func f(c bool) {
+	if c {
+		goto done
+	}
+	mid()
+done:
+	end()
+}
+func mid(); func end()
+`
+	g, f := build(t, src, "f")
+	reach := g.Reachable()
+	if !reach[g.BlockOf(callStmt(t, f, "mid"))] || !reach[g.BlockOf(callStmt(t, f, "end"))] {
+		t.Fatal("both paths around a forward goto must be reachable")
+	}
+}

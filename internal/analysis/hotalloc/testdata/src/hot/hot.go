@@ -1,0 +1,70 @@
+// Package hot exercises every hotalloc finding category plus each pruning
+// rule: dead/panic-only code, sanitizer branches, //shm:cold paths, and
+// //shm:alloc-ok line waivers.
+package hot
+
+import (
+	"invariant"
+	"strconv"
+)
+
+type S struct {
+	buf  []int
+	fn   func()
+	name string
+}
+
+func sink(v any) {}
+
+//shm:tick-root
+func (s *S) tick() {
+	s.buf = append(s.buf, 1) // want `hot-path allocation: append may grow its backing array`
+	m := make(map[int]int)   // want `hot-path allocation: make`
+	m[len(s.buf)] = 1        // want `hot-path allocation: map assignment may grow the table`
+	s.helper()
+	s.fn()
+	n := len(s.buf)
+	sink(n)                 // want `hot-path allocation: value boxed into interface argument`
+	id := strconv.Itoa(n)   // want `hot-path allocation: call into allocating package strconv`
+	cb := func() { _ = id } // want `hot-path allocation: function literal`
+	cb()
+
+	// Sanitizer-gated branch: debug cost, not steady-state cost.
+	if invariant.Enabled() {
+		dbg := make([]int, 8)
+		_ = dbg
+	}
+	// Panic-only block: the concatenation feeds a failure message.
+	if s.name == "" {
+		panic("unnamed engine: " + id)
+	}
+	// Amortized growth behind an explicit cold line.
+	if n > 100 { //shm:cold
+		s.grow()
+	}
+	s.buf = append(s.buf, 2) //shm:alloc-ok ring warm-up, amortized over the run
+}
+
+func (s *S) helper() {
+	p := &S{} // want `hot-path allocation: &composite literal escapes to the heap`
+	_ = p
+}
+
+// wire is off the hot path; the flow into s.fn still links tick to flowed.
+func (s *S) wire() {
+	s.fn = s.flowed
+}
+
+func (s *S) flowed() {
+	q := new(int) // want `hot-path allocation: new`
+	_ = q
+}
+
+func (s *S) grow() {
+	s.buf = append(s.buf, make([]int, 64)...)
+}
+
+// idle is unreachable from any root: its allocation is not steady-state.
+func idle() {
+	_ = make([]int, 1)
+}

@@ -1,0 +1,33 @@
+// Package hotok is the accepted fixture: a tick loop that mutates
+// preallocated state in place, with growth confined to a //shm:cold
+// function. hotalloc must stay silent.
+package hotok
+
+type Engine struct {
+	slots []int
+	heads []int
+}
+
+//shm:tick-root
+func (e *Engine) tick() {
+	for i := range e.slots {
+		e.slots[i]++
+	}
+	e.advance(3)
+}
+
+func (e *Engine) advance(n int) {
+	e.heads[0] += n
+}
+
+// grow is the amortized path; its append is owned by the cold mark.
+//
+//shm:cold
+func (e *Engine) grow() {
+	e.slots = append(e.slots, 0)
+}
+
+// setup runs once at construction, unreachable from the tick root.
+func setup() *Engine {
+	return &Engine{slots: make([]int, 8), heads: make([]int, 4)}
+}

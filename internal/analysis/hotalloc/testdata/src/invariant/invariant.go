@@ -1,0 +1,14 @@
+// Package invariant mimics the simulator's runtime sanitizer gate for
+// fixture purposes: hotalloc prunes branches guarded on Enabled() and
+// treats Failf as no-return.
+package invariant
+
+var on bool
+
+// Enabled reports whether the sanitizer is active.
+func Enabled() bool { return on }
+
+// Failf reports a violated invariant and never returns.
+func Failf(format string, args ...any) {
+	panic(format)
+}

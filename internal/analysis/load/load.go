@@ -32,6 +32,10 @@ type Package struct {
 	// TypeErrors collects type-checker errors; loading tolerates them so a
 	// lint run can still report on the parts that type-checked.
 	TypeErrors []error
+	// Generated marks files (by full path) carrying the conventional
+	// "// Code generated ... DO NOT EDIT." header; drivers suppress
+	// diagnostics in them since fixes belong in the generator.
+	Generated map[string]bool
 }
 
 // Loader resolves and type-checks packages from source.
@@ -164,6 +168,12 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	if err != nil && pkg == nil {
 		return nil, fmt.Errorf("load: check %s: %v", importPath, err)
 	}
+	generated := map[string]bool{}
+	for _, f := range files {
+		if ast.IsGenerated(f) {
+			generated[l.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
 	return &Package{
 		Path:       importPath,
 		Dir:        dir,
@@ -171,6 +181,7 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 		Types:      pkg,
 		Info:       info,
 		TypeErrors: terrs,
+		Generated:  generated,
 	}, nil
 }
 

@@ -21,9 +21,7 @@ package nodeterminism
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"regexp"
 	"strings"
 
 	"shmgpu/internal/analysis"
@@ -68,44 +66,10 @@ var globalRandAllowed = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
 }
 
-// parallelOkRE matches the fork/join-worker waiver annotation.
-var parallelOkRE = regexp.MustCompile(`//shm:parallel-ok\b`)
-
-// parallelOK reports whether the line containing pos carries a
-// `//shm:parallel-ok` annotation. Like Pass.Allowed, the annotation must sit
-// on the same source line as the go statement it waives; the per-file line
-// sets are built lazily and cached in lines.
-func parallelOK(pass *analysis.Pass, lines map[*ast.File]map[int]bool, pos token.Pos) bool {
-	var file *ast.File
-	for _, f := range pass.Files {
-		if f.FileStart <= pos && pos < f.FileEnd {
-			file = f
-			break
-		}
-	}
-	if file == nil {
-		return false
-	}
-	set, ok := lines[file]
-	if !ok {
-		set = map[int]bool{}
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				if parallelOkRE.MatchString(c.Text) {
-					set[pass.Fset.Position(c.Pos()).Line] = true
-				}
-			}
-		}
-		lines[file] = set
-	}
-	return set[pass.Fset.Position(pos).Line]
-}
-
 func run(pass *analysis.Pass) (any, error) {
 	if !restrictedPath(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	parallelLines := map[*ast.File]map[int]bool{}
 	pass.Inspect(func(n ast.Node) bool {
 		if n == nil {
 			return true
@@ -115,7 +79,9 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		switch node := n.(type) {
 		case *ast.GoStmt:
-			if parallelOK(pass, parallelLines, node.Pos()) {
+			// The fork/join-worker waiver, parsed by the shared waiver
+			// sheet; it must sit on the same line as the go statement.
+			if pass.Waivers().Line("parallel-ok", node.Pos()) {
 				return true
 			}
 			pass.Reportf(node.Pos(),

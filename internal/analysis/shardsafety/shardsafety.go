@@ -1,0 +1,113 @@
+// Package shardsafety statically proves the forked-phase discipline of
+// the parallel tick engine: while the 2*S shard tasks run concurrently on
+// the worker pool, each task may write only shard-private state — its own
+// outboxes, probe lanes, and horizon slots — and must never mutate the
+// frozen shared state (queues, rings, config) it computes against. The
+// determinism argument of the sharded engine rests exactly on this
+// property; this analyzer turns it from a code-review obligation into a
+// machine-checked contract.
+//
+// # The model
+//
+// Entry points carry //shm:fork-root. Inside a root, every expression is
+// classified into a region lattice:
+//
+//	Local      — allocated in the task; writes are free.
+//	ShardPriv  — an element of a //shm:sharded collection selected by a
+//	             task-scoped index; writes are the task's right.
+//	ShardColl  — a //shm:sharded collection as a whole; replacing it
+//	             would race with every other shard.
+//	Frozen     — everything else reachable from the engine/system:
+//	             shared, read-only during the forked phase.
+//
+// Task-scoped indices seed from the root's int parameters (the shard
+// number k) and grow by three flow-sensitive refinements modeled on the
+// real tasks:
+//
+//	for p := e.partLo[k]; p < e.partHi[k]; p++  — a loop bounded by
+//	    //shm:shard-bounds fields indexed by a scoped var scopes p;
+//	if x >= lo && x < hi { ... }                — inside the branch, x is
+//	    scoped when lo/hi hold shard-bounds values;
+//	if owner != p { panic(...) }                — after a panic guard,
+//	    owner inherits p's scopedness.
+//
+// Writes to Frozen or ShardColl targets, sharded-collection writes with
+// unscoped indices, and calls whose callee (transitively, via the flow
+// graph's effect fixpoint) writes a receiver or argument living in a
+// frozen region are findings. Functions reachable from a fork root are
+// additionally screened for writes to package-level state and to
+// enclosing-scope captures — the per-partition outbox closures are
+// exactly such captures and carry `//shm:shard-ok <why>` waivers, which
+// double as the written justification.
+//
+// Unlike hotalloc/syncfree, //shm:cold does NOT prune this analyzer:
+// shard isolation is a correctness property, not a cost model.
+// Like them, findings come from the Finish hook (standalone whole-tree
+// runs only).
+package shardsafety
+
+import (
+	"shmgpu/internal/analysis"
+	"shmgpu/internal/analysis/flow"
+)
+
+// Analyzer is the shardsafety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafety",
+	Doc: "prove //shm:fork-root shard tasks write only shard-private state " +
+		"(//shm:sharded elements at task-scoped indices), never frozen shared state",
+	Run:    run,
+	Finish: finish,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	return flow.Collect(pass), nil
+}
+
+func finish(f *analysis.Finishing) {
+	g := flow.BuildGraph(f.Results)
+	roots := g.Roots(func(fn *flow.Func) bool { return fn.ForkRoot })
+	if len(roots) == 0 {
+		return // no parallel engine in this tree: nothing to prove
+	}
+	g.PropagateEffects()
+	reach := g.Reach(roots)
+
+	rootSet := map[flow.FuncKey]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+
+	// Fork-reachable helpers: package-level and capture writes are shared
+	// state by definition, wherever they hide. Roots are excluded here —
+	// the region walk below owns them (and reports with more context).
+	for _, key := range reach.Order {
+		if rootSet[key] {
+			continue
+		}
+		fn := g.Funcs[key]
+		for _, s := range fn.Eff.GlobalWrites {
+			if s.Waived {
+				continue
+			}
+			f.Reportf(s.Pos,
+				"forked-phase write to package-level state: %s (path: %s); "+
+					"shard tasks may write only shard-private state",
+				s.What, g.Witness(reach, key))
+		}
+		for _, s := range fn.Eff.CaptureWrites {
+			if s.Waived {
+				continue
+			}
+			f.Reportf(s.Pos,
+				"forked-phase write to enclosing-scope state: %s (path: %s); "+
+					"per-shard buffers may be waived with //shm:shard-ok",
+				s.What, g.Witness(reach, key))
+		}
+	}
+
+	// Roots: the full region discipline.
+	for _, key := range roots {
+		checkRoot(f, g, g.Funcs[key], g.PkgOf[key])
+	}
+}

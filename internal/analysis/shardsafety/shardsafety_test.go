@@ -1,0 +1,23 @@
+package shardsafety_test
+
+import (
+	"testing"
+
+	"shmgpu/internal/analysis/analysistest"
+	"shmgpu/internal/analysis/shardsafety"
+)
+
+func TestShardsafety(t *testing.T) {
+	tests := []struct {
+		name string
+		pkgs []string
+	}{
+		{name: "flagged isolation violations", pkgs: []string{"shard"}},
+		{name: "accepted real-engine shapes", pkgs: []string{"shardok"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", shardsafety.Analyzer, tt.pkgs...)
+		})
+	}
+}

@@ -6,17 +6,26 @@ package suite
 import (
 	"shmgpu/internal/analysis"
 	"shmgpu/internal/analysis/counterhygiene"
+	"shmgpu/internal/analysis/hotalloc"
 	"shmgpu/internal/analysis/nodeterminism"
 	"shmgpu/internal/analysis/probeguard"
+	"shmgpu/internal/analysis/shardsafety"
+	"shmgpu/internal/analysis/syncfree"
 	"shmgpu/internal/analysis/unitcheck"
 )
 
-// All returns every analyzer in the shmlint suite.
+// All returns every analyzer in the shmlint suite. The flow-sensitive
+// analyzers (hotalloc, syncfree, shardsafety) report only from their
+// Finish hooks, so they surface findings in standalone whole-tree runs
+// and stay silent under the per-package vet protocol.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nodeterminism.Analyzer,
 		counterhygiene.Analyzer,
 		probeguard.Analyzer,
 		unitcheck.Analyzer,
+		hotalloc.Analyzer,
+		syncfree.Analyzer,
+		shardsafety.Analyzer,
 	}
 }

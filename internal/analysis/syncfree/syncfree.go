@@ -1,0 +1,67 @@
+// Package syncfree flags synchronization operations on the simulator's
+// per-cycle hot path. The deterministic core is single-threaded within a
+// tick by construction — cross-shard communication happens at the
+// fork/join barrier, not through locks — so a mutex, atomic, or channel
+// operation reachable from the tick loop is either dead weight (cost per
+// cycle with nothing to protect) or, worse, evidence of hidden
+// cross-thread sharing that the determinism argument does not cover.
+//
+// The walk shares hotalloc's machinery: flow summaries with CFG pruning,
+// a whole-tree call graph from //shm:tick-root and //shm:fork-root entry
+// points, interface resolution by method name, and func-value flows.
+// Flagged operations are mutex/atomic/Cond/WaitGroup/Once calls (anything
+// in sync and sync/atomic), channel sends, receives, closes, ranges and
+// selects, goroutine spawns, and time.Sleep.
+//
+// The exceptions are the point of the analyzer, not a weakness: the
+// worker pool's wake/join channel pair IS the fork/join barrier, and the
+// ops heartbeat publishes one atomic snapshot per tick by design. Those
+// sites carry `//shm:sync-ok <why>` so the waiver is the documentation,
+// and anything else that shows up is a finding. Panic-only blocks,
+// invariant.Enabled() branches, and //shm:cold paths are pruned exactly
+// as in hotalloc — but note //shm:cold does not waive correctness checks,
+// only cost accounting; syncfree findings on cold paths are still
+// reported via the cold function's own roots if it has any.
+//
+// Like hotalloc, findings come from the Finish hook: standalone
+// whole-tree runs report; per-package `go vet -vettool` runs do not.
+package syncfree
+
+import (
+	"shmgpu/internal/analysis"
+	"shmgpu/internal/analysis/flow"
+)
+
+// Analyzer is the syncfree check.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncfree",
+	Doc: "flag mutex/atomic/channel operations reachable from the per-cycle " +
+		"tick and shard entry points; the core synchronizes only at the fork/join barrier",
+	Run:    run,
+	Finish: finish,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	return flow.Collect(pass), nil
+}
+
+func finish(f *analysis.Finishing) {
+	g := flow.BuildGraph(f.Results)
+	roots := g.Roots(func(fn *flow.Func) bool { return fn.TickRoot || fn.ForkRoot })
+	if len(roots) == 0 {
+		return // hotalloc owns the missing-root integrity diagnostic
+	}
+	reach := g.Reach(roots)
+	for _, key := range reach.Order {
+		fn := g.Funcs[key]
+		for _, site := range fn.Syncs {
+			if site.Pruned || site.Waived {
+				continue
+			}
+			f.Reportf(site.Pos,
+				"hot-path synchronization: %s (path: %s); the core synchronizes only at the "+
+					"fork/join barrier — annotate //shm:sync-ok with a justification for vetted sites",
+				site.What, g.Witness(reach, key))
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package syncfree_test
+
+import (
+	"testing"
+
+	"shmgpu/internal/analysis/analysistest"
+	"shmgpu/internal/analysis/syncfree"
+)
+
+func TestSyncfree(t *testing.T) {
+	tests := []struct {
+		name string
+		pkgs []string
+	}{
+		{name: "flagged categories and waivers", pkgs: []string{"syncy"}},
+		{name: "accepted barrier-only tick", pkgs: []string{"syncok"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", syncfree.Analyzer, tt.pkgs...)
+		})
+	}
+}

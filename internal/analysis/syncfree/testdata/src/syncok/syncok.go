@@ -1,0 +1,27 @@
+// Package syncok is the accepted fixture: a lock-free tick plus the
+// fork/join barrier whose channel pair is waived with //shm:sync-ok.
+// syncfree must stay silent.
+package syncok
+
+type pool struct {
+	wake chan int
+	join chan int
+}
+
+type E struct {
+	pool  *pool
+	state []int
+}
+
+//shm:tick-root
+func (e *E) tick() {
+	e.compute()
+	e.pool.wake <- 1 //shm:sync-ok fork barrier: one wake per forked batch
+	<-e.pool.join    //shm:sync-ok join barrier: one join per forked batch
+}
+
+func (e *E) compute() {
+	for i := range e.state {
+		e.state[i] += i
+	}
+}

@@ -1,0 +1,44 @@
+// Package syncy exercises every syncfree finding category: sync/atomic
+// calls, channel operations, select, and goroutine spawns on the hot
+// path, plus the //shm:sync-ok waiver.
+package syncy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  atomic.Int64
+	ch chan int
+}
+
+//shm:tick-root
+func (s *S) tick() {
+	s.mu.Lock()   // want `hot-path synchronization: sync.Mutex.Lock`
+	s.mu.Unlock() // want `hot-path synchronization: sync.Mutex.Unlock`
+	s.n.Add(1)    // want `hot-path synchronization: atomic.Int64.Add`
+	s.ch <- 1     // want `hot-path synchronization: channel send`
+	<-s.ch        // want `hot-path synchronization: channel receive`
+	go idle()     // want `hot-path synchronization: goroutine spawn`
+	select {      // want `hot-path synchronization: select`
+	case v := <-s.ch: // want `hot-path synchronization: channel receive`
+		_ = v
+	default:
+	}
+	s.n.Store(9) //shm:sync-ok ops heartbeat: one release-store per tick
+	s.helper()
+}
+
+func (s *S) helper() {
+	close(s.ch) // want `hot-path synchronization: channel close`
+}
+
+func idle() {}
+
+// offPath is unreachable from the root: its lock is not flagged.
+func offPath(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,139 @@
+package waiver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+// doc for f.
+//
+//shm:tick-root
+func f() {
+	x := 1 //shm:alloc-ok grows to steady capacity
+	_ = x
+	y := 2 //shmlint:allow maprange,unitcheck — justified
+	_ = y
+	z := 3 //shm:sync-ok //shm:alloc-ok two markers one line
+	_ = z
+}
+
+func g() { //shm:fork-root
+}
+
+type s struct {
+	// a is per-shard.
+	//
+	//shm:sharded
+	a []int
+	b []int //shm:shard-bounds
+	c []int
+}
+`
+
+func parse(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func decls(f *ast.File) (fn, gn *ast.FuncDecl, st *ast.StructType) {
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Name.Name == "f" {
+				fn = d
+			} else {
+				gn = d
+			}
+		case *ast.GenDecl:
+			st = d.Specs[0].(*ast.TypeSpec).Type.(*ast.StructType)
+		}
+	}
+	return
+}
+
+func stmtPos(fn *ast.FuncDecl, i int) token.Pos { return fn.Body.List[i].Pos() }
+
+func TestLineMarkers(t *testing.T) {
+	fset, f := parse(t)
+	sh := New(fset, []*ast.File{f})
+	fn, _, _ := decls(f)
+
+	if !sh.Line("alloc-ok", stmtPos(fn, 0)) {
+		t.Error("alloc-ok marker on statement line not found")
+	}
+	if sh.Line("sync-ok", stmtPos(fn, 0)) {
+		t.Error("sync-ok reported on a line that only has alloc-ok")
+	}
+	if sh.Line("alloc-ok", stmtPos(fn, 1)) {
+		t.Error("marker leaked to the following line")
+	}
+	if !sh.Line("sync-ok", stmtPos(fn, 4)) || !sh.Line("alloc-ok", stmtPos(fn, 4)) {
+		t.Error("two markers on one line: both must be found")
+	}
+}
+
+func TestAllow(t *testing.T) {
+	fset, f := parse(t)
+	sh := New(fset, []*ast.File{f})
+	fn, _, _ := decls(f)
+
+	pos := stmtPos(fn, 2)
+	if !sh.Allow("maprange", pos) || !sh.Allow("unitcheck", pos) {
+		t.Error("comma-separated allow list: both checks must be allowed")
+	}
+	if sh.Allow("nodeterminism", pos) {
+		t.Error("allow reported for a check not on the list")
+	}
+	if sh.Allow("maprange", stmtPos(fn, 0)) {
+		t.Error("allow reported on a line without an allow comment")
+	}
+}
+
+func TestFuncMarkers(t *testing.T) {
+	fset, f := parse(t)
+	sh := New(fset, []*ast.File{f})
+	fn, gn, _ := decls(f)
+
+	if !sh.Func("tick-root", fn) {
+		t.Error("doc-comment tick-root marker not found")
+	}
+	if sh.Func("fork-root", fn) {
+		t.Error("fork-root reported on f, which only has tick-root")
+	}
+	if !sh.Func("fork-root", gn) {
+		t.Error("same-line fork-root marker on g not found")
+	}
+}
+
+func TestFieldMarkers(t *testing.T) {
+	fset, f := parse(t)
+	sh := New(fset, []*ast.File{f})
+	_, _, st := decls(f)
+
+	if !sh.Field("sharded", st.Fields.List[0]) {
+		t.Error("doc-comment sharded marker on field a not found")
+	}
+	if !sh.Field("shard-bounds", st.Fields.List[1]) {
+		t.Error("trailing-comment shard-bounds marker on field b not found")
+	}
+	if sh.Field("sharded", st.Fields.List[2]) {
+		t.Error("unannotated field c reported as sharded")
+	}
+}
+
+func TestOutOfRangePos(t *testing.T) {
+	fset, f := parse(t)
+	sh := New(fset, []*ast.File{f})
+	if sh.Line("alloc-ok", token.NoPos) || sh.Allow("maprange", token.NoPos) {
+		t.Error("NoPos must never match an annotation")
+	}
+}

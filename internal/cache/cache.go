@@ -315,7 +315,7 @@ func (c *Cache) allocate(block memdef.Addr) (*line, []Writeback) {
 		}
 		if victim.dirty != 0 {
 			c.Stats.Writebacks++
-			c.wbScratch = append(c.wbScratch[:0], Writeback{
+			c.wbScratch = append(c.wbScratch[:0], Writeback{ //shm:alloc-ok single-entry scratch: capacity 1 after the first dirty eviction
 				BlockAddr:  memdef.Addr(victim.tag * memdef.BlockSize),
 				SectorMask: victim.dirty,
 			})

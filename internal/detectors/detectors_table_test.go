@@ -19,9 +19,9 @@ func TestReadOnlySaturation(t *testing.T) {
 	}{
 		{entries: 4, regions: 2, wantMarked: 2},
 		{entries: 4, regions: 4, wantMarked: 4},
-		{entries: 4, regions: 5, wantMarked: 4},   // one wraparound
-		{entries: 4, regions: 64, wantMarked: 4},  // deep saturation
-		{entries: 1, regions: 16, wantMarked: 1},  // single shared entry
+		{entries: 4, regions: 5, wantMarked: 4},    // one wraparound
+		{entries: 4, regions: 64, wantMarked: 4},   // deep saturation
+		{entries: 1, regions: 16, wantMarked: 1},   // single shared entry
 		{entries: 1024, regions: 3, wantMarked: 3}, // paper size, sparse
 	}
 	for _, tc := range cases {

@@ -255,7 +255,7 @@ func (f *MATFile) Tick(now uint64) []Detection {
 	for i := range f.trackers {
 		tr := &f.trackers[i]
 		if tr.inUse && (now >= tr.deadline || now >= tr.hardDeadline) {
-			out = append(out, f.finalize(tr, true))
+			out = append(out, f.finalize(tr, true)) //shm:alloc-ok timeout detections are rare events, not per-access work
 		}
 	}
 	return out

@@ -130,7 +130,7 @@ func (h completionHeap) down(i0, n int) {
 }
 
 func (h *completionHeap) push(c completion) {
-	*h = append(*h, c)
+	*h = append(*h, c) //shm:alloc-ok amortized heap growth, bounded by in-flight completions
 	h.up(len(*h) - 1)
 }
 
@@ -222,7 +222,7 @@ func (ch *Channel) Enqueue(r Req, now uint64) bool {
 	b := int(slice % uint64(ch.cfg.Banks))
 	slicesPerRow := uint64(ch.cfg.RowBytes / memdef.PartitionStride)
 	row := (slice / uint64(ch.cfg.Banks)) / slicesPerRow
-	ch.queue = append(ch.queue, pendingReq{Req: r, arrival: now, bank: b, row: row})
+	ch.queue = append(ch.queue, pendingReq{Req: r, arrival: now, bank: b, row: row}) //shm:alloc-ok amortized growth, capacity bounded by cfg.QueueDepth
 	if invariant.Enabled() {
 		ch.enqueued++
 		if len(ch.queue) > ch.cfg.QueueDepth {
@@ -289,7 +289,7 @@ func (ch *Channel) Tick(now uint64) []Req {
 		doneCycle := (startFP + transferFP + 255) / 256
 
 		ch.completed.push(completion{req: p.Req, cycle: doneCycle})
-		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...) //shm:alloc-ok removal compacts in place; the result never exceeds the existing backing array
 		if ch.probe != nil {
 			ch.probe.Emit(telemetry.Event{
 				Cycle: now, Kind: telemetry.EvDRAMService, Part: ch.part,
@@ -312,7 +312,7 @@ func (ch *Channel) Tick(now uint64) []Req {
 		} else {
 			ch.WritesServed++
 		}
-		done = append(done, c.req)
+		done = append(done, c.req) //shm:alloc-ok fills the reused doneBuf scratch, amortized
 	}
 	ch.doneBuf = done
 	return done

@@ -184,6 +184,7 @@ func (m *Map[V]) grow() {
 	m.rehash(size)
 }
 
+//shm:cold rehash is the amortized doubling event, not per-access work
 func (m *Map[V]) rehash(size int) {
 	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
 	m.keys = make([]uint64, size)

@@ -40,7 +40,7 @@ func (mm *MultiMap[V]) Add(k uint64, v V) {
 		mm.nodes[idx] = mmNode[V]{v: v, next: -1}
 	} else {
 		idx = int32(len(mm.nodes))
-		mm.nodes = append(mm.nodes, mmNode[V]{v: v, next: -1})
+		mm.nodes = append(mm.nodes, mmNode[V]{v: v, next: -1}) //shm:alloc-ok amortized node-pool growth; the free list recycles nodes
 	}
 	ref := mm.m.Put(k)
 	if ref.head == 0 && ref.tail == 0 {

@@ -50,24 +50,24 @@ type Case struct {
 // ConfigSpec is the fuzzer-visible subset of gpu.Config. Zero fields take
 // the tiny-base default (see BaseConfig), keeping repro JSON minimal.
 type ConfigSpec struct {
-	SMs            int    `json:"sms,omitempty"`
-	WarpsPerSM     int    `json:"warps,omitempty"`
-	Partitions     int    `json:"partitions,omitempty"`
-	L2Banks        int    `json:"l2_banks,omitempty"`
-	L2BankKB       int    `json:"l2_bank_kb,omitempty"`
-	L1KB           int    `json:"l1_kb,omitempty"`
-	L1MSHRs        int    `json:"l1_mshrs,omitempty"`
-	L2MSHRs        int    `json:"l2_mshrs,omitempty"`
-	XbarQueueDepth int    `json:"xbar_queue,omitempty"`
-	MaxInflight    int    `json:"max_inflight,omitempty"`
-	DeviceMemMB    int    `json:"device_mem_mb,omitempty"`
-	MaxKCycles     int    `json:"max_kcycles,omitempty"`
-	DRAMQueueDepth int    `json:"dram_queue,omitempty"`
-	DRAMBanks      int    `json:"dram_banks,omitempty"`
+	SMs            int `json:"sms,omitempty"`
+	WarpsPerSM     int `json:"warps,omitempty"`
+	Partitions     int `json:"partitions,omitempty"`
+	L2Banks        int `json:"l2_banks,omitempty"`
+	L2BankKB       int `json:"l2_bank_kb,omitempty"`
+	L1KB           int `json:"l1_kb,omitempty"`
+	L1MSHRs        int `json:"l1_mshrs,omitempty"`
+	L2MSHRs        int `json:"l2_mshrs,omitempty"`
+	XbarQueueDepth int `json:"xbar_queue,omitempty"`
+	MaxInflight    int `json:"max_inflight,omitempty"`
+	DeviceMemMB    int `json:"device_mem_mb,omitempty"`
+	MaxKCycles     int `json:"max_kcycles,omitempty"`
+	DRAMQueueDepth int `json:"dram_queue,omitempty"`
+	DRAMBanks      int `json:"dram_banks,omitempty"`
 	// ParallelShards runs the cell under the sharded parallel engine (0 =
 	// sequential). The parallel-equivalence oracle forces its own shard
 	// counts regardless; this field lets a repro pin the mode it failed in.
-	ParallelShards int    `json:"parallel_shards,omitempty"`
+	ParallelShards int `json:"parallel_shards,omitempty"`
 
 	// MEE / detector knobs, applied through Config.MEETune.
 	MDCacheBytes   int    `json:"mdc_bytes,omitempty"`
@@ -109,24 +109,24 @@ type BufferSpec struct {
 // mechanism (sectoring, MSHRs, queue back-pressure, detector phases,
 // metadata walks) is exercised at this scale too.
 const (
-	baseSMs            = 2
-	baseWarps          = 4
-	basePartitions     = 2
-	baseL2Banks        = 1
-	baseL2BankKB       = 16
-	baseL1KB           = 4
-	baseL1MSHRs        = 8
-	baseL2MSHRs        = 16
-	baseXbarQueue      = 8
-	baseMaxInflight    = 8
-	baseDeviceMemMB    = 4
-	baseMaxKCycles     = 60
-	baseDRAMQueue      = 8
-	baseDRAMBanks      = 4
-	baseMemInsts       = 16
-	baseKernels        = 1
-	baseBufferKB       = 16
-	baseBufferWeight   = 1.0
+	baseSMs          = 2
+	baseWarps        = 4
+	basePartitions   = 2
+	baseL2Banks      = 1
+	baseL2BankKB     = 16
+	baseL1KB         = 4
+	baseL1MSHRs      = 8
+	baseL2MSHRs      = 16
+	baseXbarQueue    = 8
+	baseMaxInflight  = 8
+	baseDeviceMemMB  = 4
+	baseMaxKCycles   = 60
+	baseDRAMQueue    = 8
+	baseDRAMBanks    = 4
+	baseMemInsts     = 16
+	baseKernels      = 1
+	baseBufferKB     = 16
+	baseBufferWeight = 1.0
 )
 
 // DefaultSchemes is the scheme set a Case with no explicit Schemes runs:

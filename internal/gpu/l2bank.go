@@ -209,7 +209,7 @@ func (b *L2Bank) onFill(local memdef.Addr, now uint64, mee meePort, respond func
 		tmpl := memdef.Request{Partition: b.partition, Space: memdef.SpaceGlobal}
 		b.spill(wbs, tmpl, now, mee)
 	}
-	b.waiters.Drain(uint64(sector), func(r memdef.Request) {
+	b.waiters.Drain(uint64(sector), func(r memdef.Request) { //shm:alloc-ok drain callback capturing two words, built once per fill (not per waiter)
 		respond(r, now)
 	})
 }

@@ -78,8 +78,8 @@ type parEngine struct {
 
 	// smLo/smHi and partLo/partHi are the contiguous [lo,hi) index ranges
 	// owned by each shard (possibly empty when shards exceed units).
-	smLo, smHi     []int
-	partLo, partHi []int
+	smLo, smHi     []int //shm:shard-bounds
+	partLo, partHi []int //shm:shard-bounds
 
 	// tasks are the 2*shards prebuilt closures handed to the pool every
 	// tick: partition tasks first, then SM tasks (order is irrelevant —
@@ -97,18 +97,18 @@ type parEngine struct {
 	// sequential loop's push order (all phase-3 partitions ascending, then
 	// all phase-4). respond3/respond4 are the prebuilt per-partition
 	// closures the bank/MEE phases emit through.
-	outbox3, outbox4 [][]respEntry
+	outbox3, outbox4 [][]respEntry //shm:sharded
 	respond3         []func(memdef.Request, uint64)
 	respond4         []func(memdef.Request, uint64)
 
 	// partProbes (per partition) and smProbes (per SM shard) buffer
 	// telemetry when a collector is attached; nil otherwise.
-	partProbes []*telemetry.ShardProbe
-	smProbes   []*telemetry.ShardProbe
+	partProbes []*telemetry.ShardProbe //shm:sharded
+	smProbes   []*telemetry.ShardProbe //shm:sharded
 
 	// horizons collects each task's shard-local next-event cycle; the
 	// reduction caches the global horizon for nextEventCycle.
-	horizons   []uint64
+	horizons   []uint64 //shm:sharded
 	horizonFor uint64
 	horizonMin uint64
 	horizonOK  bool
@@ -172,13 +172,15 @@ func newParEngine(s *System) *parEngine {
 			if r.SM < 0 {
 				return
 			}
-			e.outbox3[p] = append(e.outbox3[p], respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
+			// outbox3[p] is partition p's private buffer; only p's task emits through this closure.
+			e.outbox3[p] = append(e.outbox3[p], respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency}) //shm:shard-ok //shm:alloc-ok amortized per-partition buffer growth
 		}
 		e.respond4[p] = func(r memdef.Request, now uint64) {
 			if r.SM < 0 {
 				return
 			}
-			e.outbox4[p] = append(e.outbox4[p], respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency})
+			// outbox4[p] is partition p's private buffer; only p's task emits through this closure.
+			e.outbox4[p] = append(e.outbox4[p], respEntry{phys: memdef.SectorAddr(r.Phys), sm: r.SM, at: now + s.cfg.XbarLatency}) //shm:shard-ok //shm:alloc-ok amortized per-partition buffer growth
 		}
 	}
 
@@ -249,7 +251,7 @@ func (e *parEngine) tick(now uint64) {
 		if at := s.tele.NextSampleAt(); at != ^uint64(0) && now >= at {
 			e.flushCounters()
 		}
-		s.tele.MaybeSample(now, s.snapshot)
+		s.tele.MaybeSample(now, s.snapFn)
 	}
 	s.tickNow = now
 
@@ -304,6 +306,8 @@ func (e *parEngine) tick(now uint64) {
 // phases 1 and 6 order them sequentially; fills for one SM are applied in
 // ring order (L1 LRU state makes that order load-bearing), and fills
 // never touch other SMs or emit probe events.
+//
+//shm:fork-root
 func (e *parEngine) smTask(k int) {
 	s := e.sys
 	now := e.now
@@ -334,6 +338,8 @@ func (e *parEngine) smTask(k int) {
 // one partition's phases back to back (instead of phase-major across all
 // partitions) is equivalent because, under the locality gate, partitions
 // interact only through the buffered outboxes and their own queues.
+//
+//shm:fork-root
 func (e *parEngine) partTask(k int) {
 	s := e.sys
 	now := e.now

@@ -256,11 +256,11 @@ func (s *SM) issueMem(w *warpState, warpIdx int, now uint64) {
 // onFill delivers a sector response from L2, waking waiting warps.
 func (s *SM) onFill(addr memdef.Addr, now uint64) {
 	s.l1.Fill(addr)
-	s.l1Waiters.Drain(uint64(addr), func(wi int32) {
+	s.l1Waiters.Drain(uint64(addr), func(wi int32) { //shm:alloc-ok drain callback capturing two words, built once per fill (not per waiter)
 		w := &s.warps[wi]
-		w.outstanding--
+		w.outstanding-- //shm:shard-ok warps belong to this SM, which is owned by one shard
 		if w.outstanding == 0 {
-			w.readyAt = now + 1
+			w.readyAt = now + 1 //shm:shard-ok warps belong to this SM, which is owned by one shard
 		}
 	})
 }

@@ -91,17 +91,17 @@ func (v partitionVictim) VictimActive() bool {
 type System struct {
 	cfg      Config
 	opts     secmem.Options
-	sms      []*SM
-	l2       [][]*L2Bank
-	mees     []*secmem.MEE
-	channels []*dram.Channel
+	sms      []*SM           //shm:sharded one SM per element; owned by the SM shard covering its index
+	l2       [][]*L2Bank     //shm:sharded outer index is the partition; owned by that partition's shard
+	mees     []*secmem.MEE   //shm:sharded one MEE per partition
+	channels []*dram.Channel //shm:sharded one DRAM channel per partition
 	pmap     *memdef.PartitionMap
 
 	// toPart and toSM are the crossbar request queues and the response
 	// network. Both are rings ordered by maturity cycle: entries are pushed
 	// with `at = now + XbarLatency` and now is monotonic, so the front is
 	// always the earliest-maturing entry.
-	toPart []ringbuf.Ring[xbarEntry]
+	toPart []ringbuf.Ring[xbarEntry] //shm:sharded per-partition request queues, drained by the owning shard
 	toSM   ringbuf.Ring[respEntry]
 
 	cycle uint64
@@ -114,6 +114,9 @@ type System struct {
 	acceptFn func(smRequest) bool
 	// respondFn is the bound s.respond method value, materialized once.
 	respondFn func(memdef.Request, uint64)
+	// snapFn is the bound s.snapshot method value, materialized once so the
+	// per-tick MaybeSample call does not rebind the receiver.
+	snapFn func() telemetry.Snapshot
 
 	// tele, when non-nil, collects probe events and timeline samples.
 	tele *telemetry.Collector
@@ -240,6 +243,7 @@ func NewSystem(cfg Config, opts secmem.Options) *System {
 	}
 	s.acceptFn = s.acceptRequest
 	s.respondFn = s.respond
+	s.snapFn = s.snapshot
 	for i := 0; i < cfg.SMs; i++ {
 		s.sms = append(s.sms, newSM(i, &s.cfg))
 	}
@@ -628,13 +632,18 @@ func (s *System) acceptRequest(r smRequest) bool {
 	return true
 }
 
+// tickOnce is the per-cycle entry point: everything it reaches is the
+// steady-state hot path the hotalloc/syncfree analyzers police.
+//
+//shm:tick-root
 func (s *System) tickOnce(now uint64) {
 	// Progress heartbeat: one comparison per tick, one atomic store per
 	// interval, no allocations. Deliberately outside the event horizon —
 	// a lagging heartbeat is fine, a horizon entry would change skip
 	// cycles and break byte-identity with unobserved runs.
 	if s.obsProbe != nil && now >= s.obsNextAt {
-		s.obsProbe.Observe(obs.Event{Kind: obs.EvProgress, Cycle: now})
+		s.obsProbe.Observe(obs.Event{Kind: obs.EvProgress, Cycle: now}) //shm:cold interval-throttled heartbeat: fires once per obsInterval (8192 cycles), not per tick
+
 		s.obsNextAt = now + s.obsInterval
 	}
 	if s.syncer != nil {
@@ -645,7 +654,7 @@ func (s *System) tickOnce(now uint64) {
 		return
 	}
 	if s.tele != nil {
-		s.tele.MaybeSample(now, s.snapshot)
+		s.tele.MaybeSample(now, s.snapFn)
 	}
 	s.tickNow = now
 

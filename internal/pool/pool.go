@@ -76,18 +76,18 @@ func (p *Pool) worker(id int) {
 // tasks.
 func (p *Pool) drain(id int) {
 	for {
-		i := int(p.next.Add(1)) - 1
+		i := int(p.next.Add(1)) - 1 //shm:sync-ok single atomic cursor is the task-claim protocol of the fork/join barrier
 		if p.tagged != nil {
 			if i >= len(p.tagged) {
 				return
 			}
-			p.tagged[i](id)
+			p.tagged[i](id) //shm:fork-dispatch tagged tasks run under their own fork roots
 			continue
 		}
 		if i >= len(p.tasks) {
 			return
 		}
-		p.tasks[i]()
+		p.tasks[i]() //shm:fork-dispatch batch tasks run under their own //shm:fork-root entry points
 	}
 }
 
@@ -97,13 +97,13 @@ func (p *Pool) drain(id int) {
 // shared atomic cursor.
 func (p *Pool) Run(tasks []func()) {
 	p.tasks = tasks
-	p.next.Store(0)
+	p.next.Store(0) //shm:sync-ok resets the batch cursor before the fork
 	for i := 0; i < p.workers; i++ {
-		p.wake <- struct{}{}
+		p.wake <- struct{}{} //shm:sync-ok fork barrier: one buffered wake per worker per batch
 	}
 	p.drain(0)
 	for i := 0; i < p.workers; i++ {
-		<-p.join
+		<-p.join //shm:sync-ok join barrier: one receive per worker per batch
 	}
 	p.tasks = nil
 }

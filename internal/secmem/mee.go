@@ -75,7 +75,7 @@ type readyTxn struct {
 type readyHeap []readyTxn
 
 func (h *readyHeap) push(x readyTxn) {
-	*h = append(*h, x)
+	*h = append(*h, x) //shm:alloc-ok amortized heap growth, bounded by in-flight reads
 	h.up(len(*h) - 1)
 }
 
@@ -447,7 +447,7 @@ func (m *MEE) Tick(now uint64) []memdef.Request {
 	// those before the heap push), so the pool reuse is safe.
 	for len(m.ready) > 0 && m.ready[0].at <= now {
 		rt := m.ready.popMin()
-		m.responses = append(m.responses, rt.t.req)
+		m.responses = append(m.responses, rt.t.req) //shm:alloc-ok fills the reused responses scratch, amortized
 		if m.probe != nil {
 			m.probe.Emit(telemetry.Event{
 				Cycle: rt.at, Kind: telemetry.EvMEEReadDone,
@@ -469,12 +469,12 @@ func (m *MEE) getTxn() *txn {
 		m.txnFree = m.txnFree[:n-1]
 		return t
 	}
-	return &txn{}
+	return &txn{} //shm:alloc-ok pool fallback: allocates once per in-flight high-water mark
 }
 
 func (m *MEE) releaseTxn(t *txn) {
 	*t = txn{}
-	m.txnFree = append(m.txnFree, t)
+	m.txnFree = append(m.txnFree, t) //shm:alloc-ok amortized pool growth, bounded by in-flight reads
 }
 
 // passthrough is the insecure baseline: data requests go straight to DRAM.
@@ -582,11 +582,11 @@ func (m *MEE) metaAddrFor(r memdef.Request) memdef.Addr {
 func (m *MEE) sectorList(buf int, sec memdef.Addr) []memdef.Addr {
 	out := m.secBuf[buf][:0]
 	if m.cfg.SectoredMetadata {
-		return append(out, sec)
+		return append(out, sec) //shm:alloc-ok fills the fixed secBuf scratch; capacity covers a full block
 	}
 	base := memdef.BlockAddr(sec)
 	for i := 0; i < memdef.SectorsPerBlock; i++ {
-		out = append(out, base+memdef.Addr(i*memdef.SectorSize))
+		out = append(out, base+memdef.Addr(i*memdef.SectorSize)) //shm:alloc-ok fills the fixed secBuf scratch; capacity covers a full block
 	}
 	return out
 }
@@ -994,6 +994,8 @@ func (m *MEE) NextEvent(now uint64) uint64 {
 
 // applyDetection implements the Tables III/IV misprediction handling when a
 // MAT monitoring phase completes, then trains the predictor.
+//
+//shm:cold detections close a monitoring phase; they are rare events, not per-access work
 func (m *MEE) applyDetection(det detectors.Detection, now uint64) {
 	if det.Accesses == 0 {
 		// A monitor armed ahead of the stream that never saw an access
@@ -1089,9 +1091,9 @@ func (m *MEE) OnDRAMComplete(token uint64, now uint64) {
 		m.maybeReady(pe.txn)
 	case pkCounter:
 		m.ctrCache.Fill(pe.key)
-		m.ctrWait.Drain(uint64(pe.key), func(t *txn) {
-			t.otpAt = m.aesSchedule(now)
-			m.scheduleOTPKnown(t)
+		m.ctrWait.Drain(uint64(pe.key), func(t *txn) { //shm:alloc-ok drain callback capturing two words; fills happen once per counter miss, not per access
+			t.otpAt = m.aesSchedule(now) //shm:shard-ok the MEE is partition-private; one shard owns each partition
+			m.scheduleOTPKnown(t)        //shm:shard-ok the MEE is partition-private; one shard owns each partition
 		})
 	case pkMAC:
 		m.macCache.Fill(pe.key)

@@ -56,7 +56,7 @@ func (p *ShardProbe) Emit(e Event) {
 		p.meeReadLatency.Observe(e.Value)
 	}
 	if p.capture && captureWorthy[e.Kind] {
-		p.lanes[p.lane] = append(p.lanes[p.lane], e)
+		p.lanes[p.lane] = append(p.lanes[p.lane], e) //shm:alloc-ok amortized lane-buffer growth, drained and reused every tick
 		p.pending++
 	}
 }
@@ -97,7 +97,7 @@ func (c *Collector) AbsorbLane(p *ShardProbe, lane int) {
 	}
 	for _, e := range buf {
 		if len(c.events) < c.cfg.MaxEvents {
-			c.events = append(c.events, e)
+			c.events = append(c.events, e) //shm:alloc-ok amortized growth, capped at cfg.MaxEvents
 		} else {
 			c.dropped++
 		}

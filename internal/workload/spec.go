@@ -380,6 +380,9 @@ func (b *Bench) NewWarp(kernel, sm, warp int) gpu.WarpProgram {
 		lane:    sm,
 		total:   total,
 		cursors: make([]memdef.Addr, len(b.buffers)),
+		// Stencil is the widest generator: a full stream stride plus two
+		// neighbor-row sectors.
+		secBuf: make([]memdef.Addr, 0, streamStride/memdef.SectorSize+2),
 	}
 	for i := range p.cursors {
 		p.cursors[i] = memdef.Addr(idx) * memdef.PartitionStride

@@ -19,6 +19,10 @@ type program struct {
 	total   int
 	cursors []memdef.Addr // per-buffer streaming cursor (buffer-relative)
 	issued  int
+	// secBuf is the reusable sector scratch the generators fill. issueMem
+	// consumes MemInst.Sectors before the SM calls advance() again, so one
+	// buffer per program is never aliased across two live instructions.
+	secBuf []memdef.Addr
 }
 
 // Next implements gpu.WarpProgram.
@@ -92,9 +96,9 @@ func (p *program) streamSectors(bi int, pb *placedBuffer) []memdef.Addr {
 	}
 	p.cursors[bi] = cur + memdef.Addr(p.total)*streamStride
 	base := pb.base + cur
-	out := make([]memdef.Addr, streamStride/memdef.SectorSize)
-	for i := range out {
-		out[i] = base + memdef.Addr(i*memdef.SectorSize)
+	out := p.secBuf[:0]
+	for i := 0; i < streamStride/memdef.SectorSize; i++ {
+		out = append(out, base+memdef.Addr(i*memdef.SectorSize)) //shm:alloc-ok fills the preallocated secBuf scratch; capacity covers the widest generator
 	}
 	return out
 }
@@ -107,22 +111,22 @@ func (p *program) stencilSectors(bi int, pb *placedBuffer) []memdef.Addr {
 	base := out[0]
 	rel := uint64(base - pb.base)
 	if rel >= rowBytes {
-		out = append(out, base-rowBytes)
+		out = append(out, base-rowBytes) //shm:alloc-ok secBuf capacity covers the stream stride plus both neighbor rows
 	}
 	if rel+rowBytes < pb.Bytes {
-		out = append(out, base+rowBytes)
+		out = append(out, base+rowBytes) //shm:alloc-ok secBuf capacity covers the stream stride plus both neighbor rows
 	}
 	return out
 }
 
 // randomSectors returns n poorly-coalesced uniformly random sectors.
 func (p *program) randomSectors(pb *placedBuffer, n int) []memdef.Addr {
-	out := make([]memdef.Addr, 0, n)
+	out := p.secBuf[:0]
 	blocks := pb.Bytes / memdef.BlockSize
 	for i := 0; i < n; i++ {
 		blk := memdef.Addr(uint64(p.rng.Int63n(int64(blocks)))) * memdef.BlockSize
 		sec := memdef.Addr(p.rng.Intn(memdef.SectorsPerBlock)) * memdef.SectorSize
-		out = append(out, pb.base+blk+sec)
+		out = append(out, pb.base+blk+sec) //shm:alloc-ok fills the preallocated secBuf scratch; capacity covers the widest generator
 	}
 	return out
 }
@@ -131,7 +135,7 @@ func (p *program) randomSectors(pb *placedBuffer, n int) []memdef.Addr {
 // sectors with strong locality (80% of lookups hit the hot front eighth of
 // the buffer), giving the high reuse real texture caches see.
 func (p *program) gatherSectors(pb *placedBuffer) []memdef.Addr {
-	out := make([]memdef.Addr, 0, 2)
+	out := p.secBuf[:0]
 	blocks := pb.Bytes / memdef.BlockSize
 	hot := blocks / 8
 	if hot == 0 {
@@ -145,7 +149,7 @@ func (p *program) gatherSectors(pb *placedBuffer) []memdef.Addr {
 			blk = uint64(p.rng.Int63n(int64(blocks)))
 		}
 		sec := memdef.Addr(p.rng.Intn(memdef.SectorsPerBlock)) * memdef.SectorSize
-		out = append(out, pb.base+memdef.Addr(blk*memdef.BlockSize)+sec)
+		out = append(out, pb.base+memdef.Addr(blk*memdef.BlockSize)+sec) //shm:alloc-ok fills the preallocated secBuf scratch; capacity covers the widest generator
 	}
 	return out
 }

@@ -79,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchTol       = fs.Float64("bench-tolerance", 0.05, "allowed fractional regression before -bench-compare fails")
 		benchTime      = fs.Bool("bench-time", false, "also fail -bench-compare on ns/op regressions (same-machine baselines only)")
 		benchShards    = fs.String("bench-shards", "", "comma-separated shard counts to measure in bench mode alongside the sequential cells (e.g. 2,4)")
+		benchFork      = fs.Bool("bench-fork", false, "in bench mode, additionally measure each (workload, scheme) family as one warmed parent forked across the sequential and sharded variants (fork/<wl>/<scheme> cells)")
 		shards         = fs.Int("shards", 0, "parallel tick shards per run (0 = sequential; results are byte-identical). In bench mode, additionally measures run/<wl>/<scheme>/shards=N cells")
 		workers        = fs.Int("workers", 0, "prefetch worker-pool size for figure sweeps (0 = NumCPU)")
 		quiet          = fs.Bool("q", false, "suppress informational logging (errors still print)")
@@ -120,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if opsFlags.Enabled() {
 			log.Infof("ops plane is not attached in bench mode (cells are measured unobserved)")
 		}
-		return runBench(cfg, *quick, wls, shardList, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, log)
+		return runBench(cfg, *quick, wls, shardList, *benchFork, *benchOut, *benchCompare, *benchTol, *benchTime, stdout, log)
 	}
 
 	r := experiments.NewRunner(cfg, wls)
@@ -358,8 +359,12 @@ func benchSchemes() []scheme.Scheme {
 // Sequential cells keep their historical names; every shard count in
 // shardList additionally measures each (workload, scheme) under the
 // parallel engine as run/<wl>/<scheme>/shards=N, so the baseline gate
-// covers both modes.
-func runBench(cfg gpu.Config, quick bool, wls []string, shardList []int, outPath, comparePath string, tol float64, checkTime bool, stdout io.Writer, log *obs.Logger) int {
+// covers both modes. With fork enabled, each (workload, scheme) family is
+// also measured as one warmed parent forked across the same variant set
+// (fork/<wl>/<scheme>): the warmup prefix is simulated once instead of
+// once per variant, so the fork cell's wall time should beat the summed
+// scratch cells by roughly (variants-1) warmup simulations.
+func runBench(cfg gpu.Config, quick bool, wls []string, shardList []int, fork bool, outPath, comparePath string, tol float64, checkTime bool, stdout io.Writer, log *obs.Logger) int {
 	if len(wls) == 0 {
 		wls = workload.MemoryIntensive()
 	}
@@ -380,8 +385,10 @@ func runBench(cfg gpu.Config, quick bool, wls []string, shardList []int, outPath
 				return 2
 			}
 			opts := sch.Options
+			var seqCycles uint64
 			cell := perf.Measure("run/"+wl+"/"+sch.Name, 1, func() {
 				res := gpu.NewSystem(seqCfg, opts).Run(bench)
+				seqCycles = res.Cycles
 				if !res.Completed {
 					log.Errorf("warning: %s/%s hit MaxCycles", wl, sch.Name)
 				}
@@ -401,6 +408,22 @@ func runBench(cfg gpu.Config, quick bool, wls []string, shardList []int, outPath
 					res := gpu.NewSystem(parCfg, opts).Run(bench)
 					if !res.Completed {
 						log.Errorf("warning: %s/%s (shards=%d) hit MaxCycles", wl, sch.Name, n)
+					}
+				})
+				b.Add(cell)
+			}
+			// The fork family: warm once to a quarter of the sequential
+			// run, then resume every variant from the snapshot. The
+			// variant set mirrors the scratch cells above, so the summed
+			// run/ cells are this cell's like-for-like baseline.
+			if fork && len(shardList) > 0 && seqCycles/4 > 0 {
+				specs := []experiments.ForkSpec{{}}
+				for _, n := range shardList {
+					specs = append(specs, experiments.ForkSpec{Shards: n})
+				}
+				cell := perf.Measure("fork/"+wl+"/"+sch.Name, 1, func() {
+					if _, _, err := experiments.RunForkedSeeded(seqCfg, wl, 0, sch, seqCycles/4, telemetry.Config{}, specs); err != nil {
+						log.Errorf("fork family %s/%s: %v", wl, sch.Name, err)
 					}
 				})
 				b.Add(cell)

@@ -13,6 +13,8 @@
 //	shmsim -workload fdtd2d -scheme SHM -quick -json
 //	shmsim -workload fdtd2d -scheme SHM -progress -ops-listen :8080
 //	shmsim -workload fdtd2d -scheme SHM -watchdog 30s -watchdog-cancel
+//	shmsim -workload fdtd2d -scheme SHM -quick -snapshot-out warm.snap -snapshot-at 50000
+//	shmsim -workload fdtd2d -scheme SHM -quick -restore warm.snap
 //	shmsim -list
 //
 // Exit codes: 0 on success, 1 on output/runtime errors, 2 on usage errors
@@ -60,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		shards         = fs.Int("shards", 0, "parallel tick shards (0 = sequential; results are byte-identical either way)")
 		quiet          = fs.Bool("q", false, "suppress informational logging (errors still print)")
 		verbose        = fs.Bool("v", false, "verbose logging")
+		snapshotOut    = fs.String("snapshot-out", "", "warm the run to -snapshot-at, write a resumable state snapshot to this path, and exit")
+		snapshotAt     = fs.Uint64("snapshot-at", 0, "cycle boundary for -snapshot-out (must be positive)")
+		restorePath    = fs.String("restore", "", "resume a snapshot written by -snapshot-out instead of simulating the warmup (workload, scheme, seed and telemetry flags must match the capturing run)")
 	)
 	var opsFlags obs.Flags
 	opsFlags.Register(fs)
@@ -114,6 +119,39 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		CaptureEvents:  *traceOut != "" || *jsonlOut != "",
 	}
 
+	// Snapshot capture is its own mode: warm, serialize, exit. The snapshot
+	// embeds the collector state, so the restoring invocation must pass the
+	// same telemetry flags (the restore path validates this).
+	if *snapshotOut != "" {
+		switch {
+		case *restorePath != "":
+			log.Errorf("-snapshot-out and -restore are mutually exclusive")
+			return 2
+		case *accuracy:
+			log.Errorf("-snapshot-out cannot be combined with -accuracy")
+			return 2
+		case *snapshotAt == 0:
+			log.Errorf("-snapshot-out requires -snapshot-at <cycle>")
+			return 2
+		}
+		written, err := shmgpu.WriteSnapshot(cfg, *wl, *sch, *seed, *snapshotAt, tcfg, *snapshotOut)
+		if err != nil {
+			log.Errorf("%v", err)
+			return 1
+		}
+		if !written {
+			log.Errorf("workload %s completed before cycle %d; no snapshot written", *wl, *snapshotAt)
+			return 1
+		}
+		fmt.Fprintf(stdout, "snapshot written to %s (cycle %d, workload=%s scheme=%s seed=%d)\n",
+			*snapshotOut, *snapshotAt, *wl, *sch, effSeed)
+		return 0
+	}
+	if *restorePath != "" && *accuracy {
+		log.Errorf("-restore cannot be combined with -accuracy")
+		return 2
+	}
+
 	// Two observable cells: the baseline reference run and the requested
 	// run. The shutdown writes the span trace with whatever manifest fields
 	// are known by then, so it is deferred against every return path.
@@ -152,6 +190,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	var res shmgpu.Result
 	var col *shmgpu.Collector
 	switch {
+	case *restorePath != "":
+		res, col, err = shmgpu.RestoreRun(cfg, *wl, *sch, *seed, tcfg, *restorePath)
 	case *accuracy:
 		schObj, _ := scheme.ByName(*sch)
 		r := shmgpu.NewRunner(cfg, []string{*wl})

@@ -1,0 +1,177 @@
+package shmgpu_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"shmgpu"
+	"shmgpu/internal/telemetry"
+)
+
+// forkSpecsFor builds the child variants one warmed parent fans out to:
+// the sequential engine in both fast-forward modes plus the cell's shard
+// counts (fast-forward on, matching the parallel corpus).
+func forkSpecsFor(shards []int) []shmgpu.ForkSpec {
+	specs := []shmgpu.ForkSpec{
+		{Shards: 0, DisableFastForward: false},
+		{Shards: 0, DisableFastForward: true},
+	}
+	for _, s := range shards {
+		specs = append(specs, shmgpu.ForkSpec{Shards: s, DisableFastForward: false})
+	}
+	return specs
+}
+
+// forkArtifacts renders one forked child's run in the same byte-comparable
+// form runCell uses for scratch runs, so the two sides diff directly.
+func forkArtifacts(t *testing.T, workload, scheme string, seed int64, res shmgpu.Result, col *shmgpu.Collector, spec shmgpu.ForkSpec) ffArtifacts {
+	t.Helper()
+	cfg := shmgpu.QuickConfig()
+	snap, err := json.Marshal(res.Reg.Snapshot())
+	if err != nil {
+		t.Fatalf("marshaling snapshot: %v", err)
+	}
+	m := shmgpu.Manifest{
+		Tool:          "fastforward-test",
+		SchemaVersion: telemetry.SchemaVersion,
+		Workload:      workload,
+		Scheme:        scheme,
+		SMs:           cfg.SMs,
+		Partitions:    cfg.Partitions,
+		Seed:          seed,
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, col, shmgpu.Summarize(res), m); err != nil {
+		t.Fatalf("writing JSONL: %v", err)
+	}
+	return ffArtifacts{
+		result: fmt.Sprintf(
+			"cycles=%d insts=%d traffic=%+v l1=%+v l2=%+v ctr=%+v mac=%+v bmt=%+v ro=%+v stream=%+v bus=%.9f victim=%d/%d completed=%v",
+			res.Cycles, res.Instructions, res.Traffic, res.L1, res.L2,
+			res.Ctr, res.MAC, res.BMT, res.ROAccuracy, res.StreamAccuracy,
+			res.BusUtilization, res.VictimHits, res.VictimPushes, res.Completed),
+		snapshot: snap,
+		jsonl:    buf.Bytes(),
+	}
+}
+
+// TestForkMatchesScratch is the checkpoint/fork equivalence gate: over the
+// parallel corpus's cells, a run forked from a warmed parent's snapshot
+// must be byte-indistinguishable from the same configuration run from
+// scratch — identical Result fields, stats-registry snapshot, and
+// telemetry JSONL — for every child variant, with the fork point both
+// early (a warmup boundary) and deep in steady state. Any simulator state
+// the snapshot fails to capture, or captures approximately, lands here.
+func TestForkMatchesScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus of full simulations; skipped in -short")
+	}
+	cells := []struct {
+		workload string
+		scheme   string
+		seed     int64
+		shards   []int
+	}{
+		{"atax", "Baseline", 1, []int{1, 4}},
+		{"atax", "SHM", 1, []int{4}},
+		{"bfs", "SHM", 2, []int{2}},
+		{"fdtd2d", "SHM_readOnly", 3, []int{4}},
+		{"mvt", "Common_ctr", 4, []int{4}},
+	}
+	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
+	for _, c := range cells {
+		c := c
+		// One probe run sizes the fork points; its cycle count is
+		// deterministic, so the fractions below land at reproducible spots.
+		probe, err := shmgpu.RunSeeded(shmgpu.QuickConfig(), c.workload, c.scheme, c.seed)
+		if err != nil {
+			t.Fatalf("probe run %s/%s: %v", c.workload, c.scheme, err)
+		}
+		warmPoints := []struct {
+			name string
+			at   uint64
+		}{
+			{"warmup", probe.Cycles / 8},
+			{"steady", probe.Cycles / 2},
+		}
+		specs := forkSpecsFor(c.shards)
+		for _, wp := range warmPoints {
+			wp := wp
+			if wp.at == 0 {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s_%s_seed%d_%s", c.workload, c.scheme, c.seed, wp.name), func(t *testing.T) {
+				results, cols, err := shmgpu.RunForkedSeeded(shmgpu.QuickConfig(), c.workload, c.scheme, c.seed, wp.at, tcfg, specs)
+				if err != nil {
+					t.Fatalf("forked run: %v", err)
+				}
+				for i, spec := range specs {
+					forked := forkArtifacts(t, c.workload, c.scheme, c.seed, results[i], cols[i], spec)
+					scratch := runCell(t, c.workload, c.scheme, c.seed, spec.Shards, spec.DisableFastForward)
+					label := fmt.Sprintf("shards=%d ff=%v", spec.Shards, !spec.DisableFastForward)
+					if forked.result != scratch.result {
+						t.Errorf("[%s] Result diverges:\nforked:  %s\nscratch: %s", label, forked.result, scratch.result)
+					}
+					if !bytes.Equal(forked.snapshot, scratch.snapshot) {
+						t.Errorf("[%s] stats snapshots diverge:\nforked:  %s\nscratch: %s", label, forked.snapshot, scratch.snapshot)
+					}
+					if !bytes.Equal(forked.jsonl, scratch.jsonl) {
+						t.Errorf("[%s] telemetry JSONL diverges (%d vs %d bytes)", label, len(forked.jsonl), len(scratch.jsonl))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotFileRoundTrip pins the file-based warm/restore path shmsim
+// exposes: a snapshot written to disk restores into a byte-identical
+// completion, and restoring under a mismatched scheme or seed is rejected
+// by the configuration fingerprint rather than silently diverging.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	cfg := shmgpu.QuickConfig()
+	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
+	probe, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	written, err := shmgpu.WriteSnapshot(cfg, "atax", "SHM", 1, probe.Cycles/2, tcfg, path)
+	if err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if !written {
+		t.Fatalf("workload finished before cycle %d; nothing captured", probe.Cycles/2)
+	}
+
+	res, col, err := shmgpu.RestoreRun(cfg, "atax", "SHM", 1, tcfg, path)
+	if err != nil {
+		t.Fatalf("RestoreRun: %v", err)
+	}
+	restored := forkArtifacts(t, "atax", "SHM", 1, res, col, shmgpu.ForkSpec{})
+	scratch := runCell(t, "atax", "SHM", 1, 0, false)
+	if restored.result != scratch.result {
+		t.Errorf("Result diverges:\nrestored: %s\nscratch:  %s", restored.result, scratch.result)
+	}
+	if !bytes.Equal(restored.jsonl, scratch.jsonl) {
+		t.Errorf("telemetry JSONL diverges (%d vs %d bytes)", len(restored.jsonl), len(scratch.jsonl))
+	}
+
+	if _, _, err := shmgpu.RestoreRun(cfg, "atax", "PSSM", 1, tcfg, path); err == nil {
+		t.Error("restoring under a different scheme succeeded; want fingerprint rejection")
+	}
+	if _, _, err := shmgpu.RestoreRun(cfg, "atax", "SHM", 99, tcfg, path); err == nil {
+		t.Error("restoring under a different seed succeeded; want fingerprint rejection")
+	}
+	bigger := cfg
+	bigger.SMs++
+	if _, _, err := shmgpu.RestoreRun(bigger, "atax", "SHM", 1, tcfg, path); err == nil {
+		t.Error("restoring under a different GPU config succeeded; want fingerprint rejection")
+	}
+}

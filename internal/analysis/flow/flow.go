@@ -409,6 +409,9 @@ func (c *collector) summarize(key FuncKey, display string, decl ast.Node, body *
 			}
 		}
 	}
+	if !f.Cold && isSnapshotCode(f) {
+		f.Cold = true
+	}
 	c.pf.Funcs = append(c.pf.Funcs, f)
 	if body == nil {
 		return
@@ -416,4 +419,31 @@ func (c *collector) summarize(key FuncKey, display string, decl ast.Node, body *
 
 	w := &funcWalker{c: c, f: f}
 	w.run()
+}
+
+// snapshotPkgPath is the checkpoint/restore serializer package. Everything
+// in it, and every function that takes one of its Encoder/Decoder streams,
+// runs once per snapshot — never on the per-cycle tick path — so the flow
+// analyzers treat such functions as implicitly //shm:cold instead of
+// demanding annotations on every SaveState/LoadState method in the tree.
+const snapshotPkgPath = "shmgpu/internal/snapshot"
+
+func isSnapshotCode(f *Func) bool {
+	if f.PkgPath == snapshotPkgPath {
+		return true
+	}
+	for _, obj := range f.ParamObjs {
+		ptr, ok := obj.Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != snapshotPkgPath {
+			continue
+		}
+		if name := named.Obj().Name(); name == "Encoder" || name == "Decoder" {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,127 @@
+package dram
+
+import (
+	"fmt"
+
+	"shmgpu/internal/memdef"
+	"shmgpu/internal/snapshot"
+	"shmgpu/internal/stats"
+)
+
+// Checkpoint/restore. The restore target must be a channel built by
+// NewChannel with the identical configuration. The completion heap's
+// backing array is serialized verbatim (not re-pushed): the heap's
+// internal layout determines the pop order of equal-cycle completions,
+// which is observable downstream at the MEE. doneBuf is scratch — only
+// valid between Tick and the caller consuming the returned slice — and is
+// never live at a cycle boundary, so it is not serialized. Cold path only.
+
+// SaveReq writes one request (shared with the secmem serializer).
+func SaveReq(e *snapshot.Encoder, r *Req) {
+	e.U64(uint64(r.Local))
+	e.U8(uint8(r.Kind))
+	e.U8(uint8(r.Class))
+	e.U64(r.Token)
+}
+
+// LoadReq restores a request written by SaveReq.
+func LoadReq(d *snapshot.Decoder, r *Req) {
+	r.Local = memdef.Addr(d.U64())
+	r.Kind = memdef.AccessKind(d.U8())
+	r.Class = stats.TrafficClass(d.U8())
+	r.Token = d.U64()
+}
+
+// SaveState writes the channel's mutable state.
+func (ch *Channel) SaveState(e *snapshot.Encoder) {
+	e.Int(ch.cfg.QueueDepth)
+	e.Int(len(ch.banks))
+	e.Int(len(ch.queue))
+	for i := range ch.queue {
+		p := &ch.queue[i]
+		SaveReq(e, &p.Req)
+		e.U64(p.arrival)
+		e.Int(p.bank)
+		e.U64(p.row)
+	}
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		e.U64(b.openRow)
+		e.Bool(b.hasRow)
+		e.U64(b.freeAt)
+		e.U64(b.rowHits)
+		e.U64(b.rowMisss)
+	}
+	e.U64(ch.busFreeFP)
+	e.Int(len(ch.completed))
+	for i := range ch.completed {
+		SaveReq(e, &ch.completed[i].req)
+		e.U64(ch.completed[i].cycle)
+	}
+	ch.Traffic.SaveState(e)
+	e.U64(ch.ReadsServed)
+	e.U64(ch.WritesServed)
+	e.U64(ch.busyFP)
+	e.U64(ch.enqueued)
+	e.U64(ch.lastTick)
+}
+
+// LoadState restores state saved by SaveState into a same-configured
+// channel.
+func (ch *Channel) LoadState(d *snapshot.Decoder) error {
+	depth := d.Int()
+	nBanks := d.Int()
+	nQueue := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if depth != ch.cfg.QueueDepth || nBanks != len(ch.banks) {
+		return fmt.Errorf("dram: snapshot has depth %d / %d banks, this channel has %d / %d",
+			depth, nBanks, ch.cfg.QueueDepth, len(ch.banks))
+	}
+	if nQueue < 0 || nQueue > depth {
+		return fmt.Errorf("dram: snapshot queue length %d exceeds depth %d", nQueue, depth)
+	}
+	ch.queue = ch.queue[:0]
+	for i := 0; i < nQueue; i++ {
+		var p pendingReq
+		LoadReq(d, &p.Req)
+		p.arrival = d.U64()
+		p.bank = d.Int()
+		p.row = d.U64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if p.bank < 0 || p.bank >= nBanks {
+			return fmt.Errorf("dram: queued request targets bank %d of %d", p.bank, nBanks)
+		}
+		ch.queue = append(ch.queue, p)
+	}
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		b.openRow = d.U64()
+		b.hasRow = d.Bool()
+		b.freeAt = d.U64()
+		b.rowHits = d.U64()
+		b.rowMisss = d.U64()
+	}
+	ch.busFreeFP = d.U64()
+	nDone := d.Len()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	ch.completed = ch.completed[:0]
+	for i := 0; i < nDone; i++ {
+		var c completion
+		LoadReq(d, &c.req)
+		c.cycle = d.U64()
+		ch.completed = append(ch.completed, c)
+	}
+	ch.Traffic.LoadState(d)
+	ch.ReadsServed = d.U64()
+	ch.WritesServed = d.U64()
+	ch.busyFP = d.U64()
+	ch.enqueued = d.U64()
+	ch.lastTick = d.U64()
+	return d.Err()
+}

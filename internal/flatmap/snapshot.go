@@ -1,0 +1,134 @@
+package flatmap
+
+import (
+	"fmt"
+
+	"shmgpu/internal/snapshot"
+)
+
+// This file serializes the physical table layout — capacity plus
+// (slot, key, value) triples for used slots — rather than a canonical
+// key-sorted form. The slot layout is a pure function of the insert/delete
+// history, and Range walks it directly, so restoring anything but the
+// exact layout would let a restored run diverge from a from-scratch run
+// the first time iteration order (or a subsequent backward-shift delete)
+// becomes observable. All of this is cold checkpoint/restore code.
+
+// maxTableCap bounds restored table capacities so a corrupt capacity field
+// fails cleanly instead of driving a huge allocation.
+const maxTableCap = 1 << 30
+
+// SaveMap writes m's physical slot layout. saveVal encodes one value.
+func SaveMap[V any](e *snapshot.Encoder, m *Map[V], saveVal func(*snapshot.Encoder, *V)) {
+	e.Int(len(m.keys))
+	e.Int(m.n)
+	for i := range m.keys {
+		if !m.used[i] {
+			continue
+		}
+		e.Int(i)
+		e.U64(m.keys[i])
+		saveVal(e, &m.vals[i])
+	}
+}
+
+// LoadMap restores a map saved by SaveMap, replacing m's contents.
+// loadVal decodes one value in place.
+func LoadMap[V any](d *snapshot.Decoder, m *Map[V], loadVal func(*snapshot.Decoder, *V)) error {
+	capN := d.Int()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if capN < 0 || capN > maxTableCap || (capN != 0 && capN&(capN-1) != 0) {
+		return fmt.Errorf("flatmap: bad table capacity %d", capN)
+	}
+	if n < 0 || n > capN {
+		return fmt.Errorf("flatmap: bad entry count %d for capacity %d", n, capN)
+	}
+	if capN == 0 {
+		*m = Map[V]{}
+		return nil
+	}
+	m.keys = make([]uint64, capN)
+	m.vals = make([]V, capN)
+	m.used = make([]bool, capN)
+	m.n = n
+	for j := 0; j < n; j++ {
+		slot := d.Int()
+		key := d.U64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if slot < 0 || slot >= capN || m.used[slot] {
+			return fmt.Errorf("flatmap: bad slot index %d for capacity %d", slot, capN)
+		}
+		m.used[slot] = true
+		m.keys[slot] = key
+		loadVal(d, &m.vals[slot])
+	}
+	return d.Err()
+}
+
+// VisitMultiMapNodes calls fn for every node in mm's arena in index order
+// — a deterministic walk (the arena layout is a pure function of the
+// Add/Drain history) that includes free-chain nodes, whose values are
+// zero. Serializers use it to assign canonical identifiers to
+// pointer-typed values before encoding them.
+func VisitMultiMapNodes[V any](mm *MultiMap[V], fn func(v *V)) {
+	for i := range mm.nodes {
+		fn(&mm.nodes[i].v)
+	}
+}
+
+// SaveMultiMap writes mm's full physical state: the key table, the node
+// arena (free-chain nodes are zero-valued — Drain and Reset zero released
+// values), the free-list head, and the bookkeeping counters.
+func SaveMultiMap[V any](e *snapshot.Encoder, mm *MultiMap[V], saveVal func(*snapshot.Encoder, *V)) {
+	SaveMap(e, &mm.m, func(e *snapshot.Encoder, r *listRef) {
+		e.I32(r.head)
+		e.I32(r.tail)
+	})
+	e.Int(len(mm.nodes))
+	for i := range mm.nodes {
+		saveVal(e, &mm.nodes[i].v)
+		e.I32(mm.nodes[i].next)
+	}
+	e.I32(mm.free)
+	e.Int(mm.vals)
+	e.Bool(mm.init)
+}
+
+// LoadMultiMap restores a multimap saved by SaveMultiMap, replacing mm's
+// contents.
+func LoadMultiMap[V any](d *snapshot.Decoder, mm *MultiMap[V], loadVal func(*snapshot.Decoder, *V)) error {
+	err := LoadMap(d, &mm.m, func(d *snapshot.Decoder, r *listRef) {
+		r.head = d.I32()
+		r.tail = d.I32()
+	})
+	if err != nil {
+		return err
+	}
+	nNodes := d.Len()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	mm.nodes = make([]mmNode[V], nNodes)
+	for i := range mm.nodes {
+		loadVal(d, &mm.nodes[i].v)
+		mm.nodes[i].next = d.I32()
+	}
+	mm.free = d.I32()
+	mm.vals = d.Int()
+	mm.init = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// A never-initialized multimap is all zeros (free == 0 with an empty
+	// arena), so the free-head bound only applies once nodes exist.
+	if mm.free < -1 || (len(mm.nodes) > 0 && int(mm.free) >= len(mm.nodes)) ||
+		(len(mm.nodes) == 0 && mm.free > 0) || mm.vals < 0 {
+		return fmt.Errorf("flatmap: bad multimap free head %d or count %d (%d nodes)", mm.free, mm.vals, len(mm.nodes))
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"shmgpu/internal/obs"
 	"shmgpu/internal/scheme"
 	"shmgpu/internal/secmem"
+	"shmgpu/internal/snapshot"
 	"shmgpu/internal/stats"
 	"shmgpu/internal/telemetry"
 )
@@ -19,9 +20,9 @@ import (
 // Violation is one oracle failure for a cell.
 type Violation struct {
 	// Oracle names the violated property ("ff-equivalence",
-	// "parallel-equivalence", "determinism", "sanitizer-transparency",
-	// "detector-ablation", "metamorphic-ipc", "metamorphic-metadata",
-	// "conservation", "invariant").
+	// "parallel-equivalence", "fork-equivalence", "determinism",
+	// "sanitizer-transparency", "detector-ablation", "metamorphic-ipc",
+	// "metamorphic-metadata", "conservation", "invariant").
 	Oracle string `json:"oracle"`
 	// Scheme is the design under which the violation surfaced.
 	Scheme string `json:"scheme,omitempty"`
@@ -121,9 +122,19 @@ func (c Case) runArtifacts(orun *obs.Run, schemeLabel string, opts secmem.Option
 	res := sys.Run(bench)
 	res.Scheme = schemeLabel
 
-	snap, err := json.Marshal(res.Reg.Snapshot())
+	arts, err := c.renderArtifacts(res, col, cfg, schemeLabel)
 	if err != nil {
 		return artifacts{}, nil, err
+	}
+	return arts, collected, nil
+}
+
+// renderArtifacts renders one finished run into the byte-comparable form
+// every equivalence oracle diffs.
+func (c Case) renderArtifacts(res gpu.Result, col *telemetry.Collector, cfg gpu.Config, schemeLabel string) (artifacts, error) {
+	snap, err := json.Marshal(res.Reg.Snapshot())
+	if err != nil {
+		return artifacts{}, err
 	}
 	m := telemetry.Manifest{
 		Tool:          "shmfuzz",
@@ -136,9 +147,89 @@ func (c Case) runArtifacts(orun *obs.Run, schemeLabel string, opts secmem.Option
 	}
 	var buf bytes.Buffer
 	if err := telemetry.WriteJSONL(&buf, col, summarize(res), m); err != nil {
-		return artifacts{}, nil, err
+		return artifacts{}, err
 	}
-	return artifacts{res: res, line: resultLine(res), snap: snap, jsonl: buf.Bytes()}, collected, nil
+	return artifacts{res: res, line: resultLine(res), snap: snap, jsonl: buf.Bytes()}, nil
+}
+
+// resumeArtifacts restores a snapshot blob into a fresh system under the
+// child's execution strategy and runs it to completion. The fresh
+// collector and bench mirror a from-scratch run exactly, so the rendered
+// artifacts diff byte-for-byte against the scratch side. This is the fuzz
+// battery's own inline fork path (the package deliberately does not
+// import experiments; see summarize).
+func (c Case) resumeArtifacts(schemeLabel string, opts secmem.Options, blob []byte, disableFF bool, shards int) (artifacts, error) {
+	bench, err := c.Bench()
+	if err != nil {
+		return artifacts{}, err
+	}
+	cfg := c.GPUConfig()
+	cfg.DisableFastForward = disableFF
+	cfg.ParallelShards = shards
+
+	col := telemetry.New(telemetry.Config{SampleInterval: 500, CaptureEvents: true})
+	sys := gpu.NewSystem(cfg, opts)
+	sys.AttachTelemetry(col)
+	if err := sys.LoadState(snapshot.NewDecoder(blob), bench); err != nil {
+		return artifacts{}, err
+	}
+	res := sys.Resume(bench)
+	res.Scheme = schemeLabel
+	return c.renderArtifacts(res, col, cfg, schemeLabel)
+}
+
+// forkEquivalence is the checkpoint/fork oracle: warm one run of the cell
+// to the midpoint of its from-scratch cycle count, capture the complete
+// simulator state once, and fork one child per execution variant — both
+// fast-forward modes crossed with shard counts {1, 4}. Every child must
+// be byte-indistinguishable (Result, stats snapshot, telemetry JSONL)
+// from the matching from-scratch run. Any divergence is simulator state
+// the snapshot captured wrongly, partially, or not at all.
+func (c Case) forkEquivalence(schemeName string, opts secmem.Options, ff, ref artifacts) ([]Violation, error) {
+	warmCycle := ff.res.Cycles / 2
+	if warmCycle == 0 {
+		return nil, nil
+	}
+	bench, err := c.Bench()
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.GPUConfig()
+	col := telemetry.New(telemetry.Config{SampleInterval: 500, CaptureEvents: true})
+	sys := gpu.NewSystem(cfg, opts)
+	sys.AttachTelemetry(col)
+	if _, done := sys.RunUntil(bench, warmCycle); done {
+		// The workload completed before the fork point: nothing to fork,
+		// and nothing to check — a fallback scratch run is scratch.
+		return nil, nil
+	}
+	enc := snapshot.NewEncoder()
+	err = sys.SaveState(enc, bench)
+	sys.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+	blob := enc.Data()
+
+	var vs []Violation
+	for _, child := range []struct {
+		disableFF bool
+		shards    int
+	}{
+		{false, 1}, {false, 4}, {true, 1}, {true, 4},
+	} {
+		got, err := c.resumeArtifacts(schemeName, opts, blob, child.disableFF, child.shards)
+		if err != nil {
+			return nil, err
+		}
+		scratch, base := ff, "scratch(fast-forward)"
+		if child.disableFF {
+			scratch, base = ref, "scratch(every-cycle)"
+		}
+		name := fmt.Sprintf("forked(ff=%v,shards=%d)", !child.disableFF, child.shards)
+		vs = append(vs, diffArtifacts("fork-equivalence", schemeName, name, base, got, scratch)...)
+	}
+	return vs, nil
 }
 
 // summarize mirrors experiments.TelemetrySummary without importing the
@@ -206,6 +297,7 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 	}
 	var vs []Violation
 	arts := make(map[string]artifacts)
+	refs := make(map[string]artifacts)
 	names := c.SchemeNames()
 	for _, name := range names {
 		sch, err := scheme.ByName(name)
@@ -232,6 +324,7 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		vs = append(vs, diffArtifacts("parallel-equivalence", name, "shards=2", "sequential", par, ff)...)
 		vs = append(vs, conservation(c, sch.Options, name, ff.res)...)
 		arts[name] = ff
+		refs[name] = ref
 	}
 
 	// Double-run determinism plus the armed-sanitizer run on the scheme
@@ -260,6 +353,15 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		vs = append(vs, Violation{Oracle: "invariant", Scheme: det, Detail: iv.Error()})
 	}
 	vs = append(vs, diffArtifacts("sanitizer-transparency", det, "unchecked", "sanitized", arts[det], san)...)
+
+	// Checkpoint/fork equivalence on the same scheme: forked children must
+	// be byte-identical to from-scratch runs across both fast-forward
+	// modes and shard counts {1, 4}.
+	fvs, err := c.forkEquivalence(det, detSch.Options, arts[det], refs[det])
+	if err != nil {
+		return nil, err
+	}
+	vs = append(vs, fvs...)
 
 	// Detector ablation: SHM options with both adaptive mechanisms
 	// disabled must be indistinguishable from the PSSM preset — the two

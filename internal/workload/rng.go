@@ -1,0 +1,49 @@
+package workload
+
+import "math/rand"
+
+// countingSource wraps a rand.Source64 and counts the values drawn from
+// it. The count is the only piece of RNG state the checkpoint needs: a
+// restored program recreates the source from the same deterministic seed
+// and fast-forwards it by replaying n draws, landing on exactly the
+// position the snapshot captured. (math/rand exposes no way to read or
+// set a source's internal position, so without the counter the RNG
+// position was uncapturable — the state-capture bug this type fixes at
+// the source.)
+//
+// Every top-level rand.Rand call the generators use (Intn, Int63n,
+// Float64) draws exactly one value from the underlying source per call to
+// Int63/Uint64 here, so replay is exact.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// skipTo replays draws until the source has produced n values. Calling it
+// on a source that has already produced more than n draws is a
+// programming error caught by the caller's position check.
+func (c *countingSource) skipTo(n uint64) {
+	for c.n < n {
+		c.n++
+		c.src.Uint64()
+	}
+}

@@ -9,8 +9,11 @@ import (
 
 // program generates one warp's instruction stream for a Bench.
 type program struct {
-	bench   *Bench
-	rng     *rand.Rand
+	bench *Bench
+	rng   *rand.Rand
+	// rngSrc is the counting source behind rng; the draw count is the
+	// serializable RNG position (see countingSource).
+	rngSrc  *countingSource
 	warpIdx int
 	// lane is the warp's SM index: the frontier lane it advances. Only the
 	// owning SM's tick calls Next, so lane writes are single-writer even

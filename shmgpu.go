@@ -131,6 +131,49 @@ func RunObservedSeeded(cfg Config, workloadName, schemeName string, seed int64, 
 	return experiments.RunObservedSeeded(cfg, workloadName, seed, sch, tcfg, orun)
 }
 
+// ForkSpec selects one forked child's execution strategy (shard count and
+// fast-forward mode) — the knobs proven byte-neutral by the equivalence
+// corpora, and therefore the only ones a forked child may vary.
+type ForkSpec = experiments.ForkSpec
+
+// RunForkedSeeded warms one (workload, scheme, seed) run to warmCycle,
+// captures the complete simulator state once, and forks one child per
+// spec from the snapshot, amortizing the warmup across the specs. Every
+// child's Result, statistics, and telemetry are byte-identical to the
+// same configuration run from scratch. If the workload completes before
+// warmCycle, each spec silently falls back to a from-scratch run.
+func RunForkedSeeded(cfg Config, workloadName, schemeName string, seed int64, warmCycle uint64, tcfg TelemetryConfig, specs []ForkSpec) ([]Result, []*Collector, error) {
+	sch, err := scheme.ByName(schemeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return experiments.RunForkedSeeded(cfg, workloadName, seed, sch, warmCycle, tcfg, specs)
+}
+
+// WriteSnapshot warms a run to warmCycle and writes its state to path
+// (checksummed and atomically renamed — a killed writer never leaves a
+// loadable file). It reports whether a snapshot was written: a workload
+// finishing before warmCycle leaves nothing to capture.
+func WriteSnapshot(cfg Config, workloadName, schemeName string, seed int64, warmCycle uint64, tcfg TelemetryConfig, path string) (bool, error) {
+	sch, err := scheme.ByName(schemeName)
+	if err != nil {
+		return false, err
+	}
+	return experiments.WriteSnapshotSeeded(cfg, workloadName, seed, sch, warmCycle, tcfg, path)
+}
+
+// RestoreRun loads a snapshot written by WriteSnapshot and resumes it to
+// completion. Workload, scheme, seed, and telemetry configuration must
+// match the capturing run; cfg may vary only the execution-strategy knobs
+// (shards, fast-forward).
+func RestoreRun(cfg Config, workloadName, schemeName string, seed int64, tcfg TelemetryConfig, path string) (Result, *Collector, error) {
+	sch, err := scheme.ByName(schemeName)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return experiments.RestoreRunSeeded(cfg, workloadName, seed, sch, tcfg, path)
+}
+
 // Summarize converts a Result into the exporter-facing RunSummary.
 func Summarize(res Result) RunSummary { return experiments.TelemetrySummary(res) }
 

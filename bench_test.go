@@ -97,6 +97,10 @@ func BenchmarkTableIX_HardwareOverhead(b *testing.B) { benchFigure(b, "ix") }
 // average performance overhead of each design.
 func BenchmarkSummary_Headline(b *testing.B) { benchFigure(b, "summary") }
 
+// BenchmarkFigOversub regenerates the heterogeneous-memory extension: the
+// oversubscription sweep under the host-backed tier.
+func BenchmarkFigOversub(b *testing.B) { benchFigure(b, "oversub") }
+
 // BenchmarkSingleRun measures the cost of one full workload simulation
 // (the unit everything above is built from).
 func BenchmarkSingleRun(b *testing.B) {

@@ -154,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		{"14", "fig14_bandwidth_overhead", r.Fig14, []scheme.Scheme{scheme.Naive, scheme.PSSM, scheme.SHMReadOnly, scheme.SHM}, false, false},
 		{"15", "fig15_energy", r.Fig15, []scheme.Scheme{scheme.Baseline, scheme.Naive, scheme.CommonCtr, scheme.PSSM, scheme.SHM}, false, false},
 		{"16", "fig16_victim_cache", r.Fig16, []scheme.Scheme{scheme.Baseline, scheme.SHM, scheme.SHMvL2}, false, false},
+		// The oversubscription sweep prefetches its own cells (per-ratio
+		// sub-runners plus the tier-off subset) on one pool inside the
+		// generator, so it carries no prefetch list here.
+		{"oversub", "oversubscription_sweep", r.FigOversub, nil, false, false},
 		{"vii", "table07_bandwidth_utilization", r.TableVII, []scheme.Scheme{scheme.Baseline}, false, false},
 		{"ix", "table09_hardware_overhead", experiments.TableIX, nil, false, false},
 		{"summary", "summary_headline", r.Summary, []scheme.Scheme{scheme.Baseline, scheme.Naive, scheme.CommonCtr, scheme.PSSM, scheme.SHM, scheme.SHMUpperBound}, false, false},

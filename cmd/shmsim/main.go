@@ -15,6 +15,8 @@
 //	shmsim -workload fdtd2d -scheme SHM -watchdog 30s -watchdog-cancel
 //	shmsim -workload fdtd2d -scheme SHM -quick -snapshot-out warm.snap -snapshot-at 50000
 //	shmsim -workload fdtd2d -scheme SHM -quick -restore warm.snap
+//	shmsim -workload atax -scheme SHM -host-tier -oversub-ratio 0.5
+//	shmsim -workload atax -scheme SHM -host-tier -oversub-ratio 0.5 -migration-policy fifo -host-integrity hostside
 //	shmsim -list
 //
 // Exit codes: 0 on success, 1 on output/runtime errors, 2 on usage errors
@@ -65,6 +67,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		snapshotOut    = fs.String("snapshot-out", "", "warm the run to -snapshot-at, write a resumable state snapshot to this path, and exit")
 		snapshotAt     = fs.Uint64("snapshot-at", 0, "cycle boundary for -snapshot-out (must be positive)")
 		restorePath    = fs.String("restore", "", "resume a snapshot written by -snapshot-out instead of simulating the warmup (workload, scheme, seed and telemetry flags must match the capturing run)")
+		hostTier       = fs.Bool("host-tier", false, "enable the host-backed memory tier (UVM demand paging over a modeled PCIe link)")
+		oversubRatio   = fs.Float64("oversub-ratio", 0, "device frame capacity as a fraction of the workload footprint (required with -host-tier; >= 1.0 fits entirely)")
+		pageBytes      = fs.Uint64("page-bytes", 0, "UVM migration page size in bytes (0 = the 64 KiB default; must be a power of two)")
+		migrationPol   = fs.String("migration-policy", "", "UVM eviction victim policy: lru (default) or fifo")
+		hostIntegrity  = fs.String("host-integrity", "", "security metadata handling across migrations: rebuild (default; MEE re-encrypts on fault-in) or hostside (host-managed, cheaper)")
 	)
 	var opsFlags obs.Flags
 	opsFlags.Register(fs)
@@ -100,6 +107,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 	cfg.ParallelShards = *shards
+	if *hostTier {
+		cfg.HostTier = true
+		cfg.OversubRatio = *oversubRatio
+		cfg.UVMPageBytes = *pageBytes
+		cfg.UVMMigrationPolicy = *migrationPol
+		cfg.UVMHostIntegrity = *hostIntegrity
+	} else if *oversubRatio != 0 || *pageBytes != 0 || *migrationPol != "" || *hostIntegrity != "" {
+		log.Errorf("-oversub-ratio, -page-bytes, -migration-policy and -host-integrity require -host-tier")
+		return 2
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Errorf("%v", err)
+		return 2
+	}
 	if _, err := scheme.ByName(*sch); err != nil {
 		log.Errorf("%v (run with -list to see valid names)", err)
 		return 2

@@ -1,70 +1,17 @@
 package shmgpu_test
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"testing"
 
-	"shmgpu"
-	"shmgpu/internal/telemetry"
+	"shmgpu/internal/testutil"
 )
-
-// ffArtifacts is everything observable about one run: the full Result
-// struct, the marshaled stats registry, and the JSONL telemetry stream.
-type ffArtifacts struct {
-	result   string
-	snapshot []byte
-	jsonl    []byte
-}
 
 // runMode executes one (workload, scheme, seed) cell with fast-forward either
 // enabled (the default) or disabled (reference every-cycle ticking).
-func runMode(t *testing.T, workload, scheme string, seed int64, disableFF bool) ffArtifacts {
+func runMode(t *testing.T, workload, scheme string, seed int64, disableFF bool) testutil.Artifacts {
 	t.Helper()
-	return runCell(t, workload, scheme, seed, 0, disableFF)
-}
-
-// runCell executes one quick-config cell with the given shard count (0 =
-// sequential) and fast-forward mode; it is the shared artifact collector
-// behind the fast-forward and parallel equivalence corpora.
-func runCell(t *testing.T, workload, scheme string, seed int64, shards int, disableFF bool) ffArtifacts {
-	t.Helper()
-	cfg := shmgpu.QuickConfig()
-	cfg.DisableFastForward = disableFF
-	cfg.ParallelShards = shards
-	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
-	res, col, err := shmgpu.RunWithTelemetrySeeded(cfg, workload, scheme, seed, tcfg)
-	if err != nil {
-		t.Fatalf("run %s/%s seed %d (disableFF=%v): %v", workload, scheme, seed, disableFF, err)
-	}
-	snap, err := json.Marshal(res.Reg.Snapshot())
-	if err != nil {
-		t.Fatalf("marshaling snapshot: %v", err)
-	}
-	m := shmgpu.Manifest{
-		Tool:          "fastforward-test",
-		SchemaVersion: telemetry.SchemaVersion,
-		Workload:      workload,
-		Scheme:        scheme,
-		SMs:           cfg.SMs,
-		Partitions:    cfg.Partitions,
-		Seed:          seed,
-	}
-	var buf bytes.Buffer
-	if err := telemetry.WriteJSONL(&buf, col, shmgpu.Summarize(res), m); err != nil {
-		t.Fatalf("writing JSONL: %v", err)
-	}
-	// Result carries the registry pointer; render the value fields instead.
-	return ffArtifacts{
-		result: fmt.Sprintf(
-			"cycles=%d insts=%d traffic=%+v l1=%+v l2=%+v ctr=%+v mac=%+v bmt=%+v ro=%+v stream=%+v bus=%.9f victim=%d/%d completed=%v",
-			res.Cycles, res.Instructions, res.Traffic, res.L1, res.L2,
-			res.Ctr, res.MAC, res.BMT, res.ROAccuracy, res.StreamAccuracy,
-			res.BusUtilization, res.VictimHits, res.VictimPushes, res.Completed),
-		snapshot: snap,
-		jsonl:    buf.Bytes(),
-	}
+	return testutil.RunCell(t, workload, scheme, seed, 0, disableFF)
 }
 
 // TestFastForwardMatchesEveryCycle is the event-horizon equivalence gate:
@@ -102,15 +49,27 @@ func TestFastForwardMatchesEveryCycle(t *testing.T) {
 		t.Run(fmt.Sprintf("%s_%s_seed%d", c.workload, c.scheme, c.seed), func(t *testing.T) {
 			ff := runMode(t, c.workload, c.scheme, c.seed, false)
 			ref := runMode(t, c.workload, c.scheme, c.seed, true)
-			if ff.result != ref.result {
-				t.Errorf("Result diverges:\nfast-forward: %s\nevery-cycle:  %s", ff.result, ref.result)
-			}
-			if !bytes.Equal(ff.snapshot, ref.snapshot) {
-				t.Errorf("stats snapshots diverge:\nfast-forward: %s\nevery-cycle:  %s", ff.snapshot, ref.snapshot)
-			}
-			if !bytes.Equal(ff.jsonl, ref.jsonl) {
-				t.Errorf("telemetry JSONL diverges (%d vs %d bytes)", len(ff.jsonl), len(ref.jsonl))
-			}
+			testutil.AssertEqual(t, "fast-forward", ff, "every-cycle", ref)
+		})
+	}
+}
+
+// TestFastForwardMatchesEveryCycleOversubscribed extends the horizon gate
+// to the UVM host tier: with the working set oversubscribed, in-flight
+// page migrations join the event horizon (hostmem.Tier.NextEvent) and the
+// fault/replay retries must land on identical cycles in both modes.
+func TestFastForwardMatchesEveryCycleOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus of full simulations; skipped in -short")
+	}
+	for _, scheme := range []string{"Baseline", "SHM"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			cfg := oversubQuickConfig(0.5)
+			ff := testutil.RunCellCfg(t, cfg, "atax", scheme, 1)
+			cfg.DisableFastForward = true
+			ref := testutil.RunCellCfg(t, cfg, "atax", scheme, 1)
+			testutil.AssertEqual(t, "fast-forward", ff, "every-cycle", ref)
 		})
 	}
 }

@@ -1,14 +1,12 @@
 package shmgpu_test
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"testing"
 
 	"shmgpu"
-	"shmgpu/internal/telemetry"
+	"shmgpu/internal/testutil"
 )
 
 // forkSpecsFor builds the child variants one warmed parent fans out to:
@@ -23,39 +21,6 @@ func forkSpecsFor(shards []int) []shmgpu.ForkSpec {
 		specs = append(specs, shmgpu.ForkSpec{Shards: s, DisableFastForward: false})
 	}
 	return specs
-}
-
-// forkArtifacts renders one forked child's run in the same byte-comparable
-// form runCell uses for scratch runs, so the two sides diff directly.
-func forkArtifacts(t *testing.T, workload, scheme string, seed int64, res shmgpu.Result, col *shmgpu.Collector, spec shmgpu.ForkSpec) ffArtifacts {
-	t.Helper()
-	cfg := shmgpu.QuickConfig()
-	snap, err := json.Marshal(res.Reg.Snapshot())
-	if err != nil {
-		t.Fatalf("marshaling snapshot: %v", err)
-	}
-	m := shmgpu.Manifest{
-		Tool:          "fastforward-test",
-		SchemaVersion: telemetry.SchemaVersion,
-		Workload:      workload,
-		Scheme:        scheme,
-		SMs:           cfg.SMs,
-		Partitions:    cfg.Partitions,
-		Seed:          seed,
-	}
-	var buf bytes.Buffer
-	if err := telemetry.WriteJSONL(&buf, col, shmgpu.Summarize(res), m); err != nil {
-		t.Fatalf("writing JSONL: %v", err)
-	}
-	return ffArtifacts{
-		result: fmt.Sprintf(
-			"cycles=%d insts=%d traffic=%+v l1=%+v l2=%+v ctr=%+v mac=%+v bmt=%+v ro=%+v stream=%+v bus=%.9f victim=%d/%d completed=%v",
-			res.Cycles, res.Instructions, res.Traffic, res.L1, res.L2,
-			res.Ctr, res.MAC, res.BMT, res.ROAccuracy, res.StreamAccuracy,
-			res.BusUtilization, res.VictimHits, res.VictimPushes, res.Completed),
-		snapshot: snap,
-		jsonl:    buf.Bytes(),
-	}
 }
 
 // TestForkMatchesScratch is the checkpoint/fork equivalence gate: over the
@@ -81,7 +46,6 @@ func TestForkMatchesScratch(t *testing.T) {
 		{"fdtd2d", "SHM_readOnly", 3, []int{4}},
 		{"mvt", "Common_ctr", 4, []int{4}},
 	}
-	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
 	for _, c := range cells {
 		c := c
 		// One probe run sizes the fork points; its cycle count is
@@ -104,26 +68,64 @@ func TestForkMatchesScratch(t *testing.T) {
 				continue
 			}
 			t.Run(fmt.Sprintf("%s_%s_seed%d_%s", c.workload, c.scheme, c.seed, wp.name), func(t *testing.T) {
-				results, cols, err := shmgpu.RunForkedSeeded(shmgpu.QuickConfig(), c.workload, c.scheme, c.seed, wp.at, tcfg, specs)
+				results, cols, err := shmgpu.RunForkedSeeded(shmgpu.QuickConfig(), c.workload, c.scheme, c.seed, wp.at, testutil.QuickTelemetry(), specs)
 				if err != nil {
 					t.Fatalf("forked run: %v", err)
 				}
 				for i, spec := range specs {
-					forked := forkArtifacts(t, c.workload, c.scheme, c.seed, results[i], cols[i], spec)
-					scratch := runCell(t, c.workload, c.scheme, c.seed, spec.Shards, spec.DisableFastForward)
-					label := fmt.Sprintf("shards=%d ff=%v", spec.Shards, !spec.DisableFastForward)
-					if forked.result != scratch.result {
-						t.Errorf("[%s] Result diverges:\nforked:  %s\nscratch: %s", label, forked.result, scratch.result)
-					}
-					if !bytes.Equal(forked.snapshot, scratch.snapshot) {
-						t.Errorf("[%s] stats snapshots diverge:\nforked:  %s\nscratch: %s", label, forked.snapshot, scratch.snapshot)
-					}
-					if !bytes.Equal(forked.jsonl, scratch.jsonl) {
-						t.Errorf("[%s] telemetry JSONL diverges (%d vs %d bytes)", label, len(forked.jsonl), len(scratch.jsonl))
-					}
+					forked := testutil.Collect(t, shmgpu.QuickConfig(), c.workload, c.scheme, c.seed, results[i], cols[i])
+					scratch := testutil.RunCell(t, c.workload, c.scheme, c.seed, spec.Shards, spec.DisableFastForward)
+					label := fmt.Sprintf("forked shards=%d ff=%v", spec.Shards, !spec.DisableFastForward)
+					testutil.AssertEqual(t, label, forked, "scratch", scratch)
 				}
 			})
 		}
+	}
+}
+
+// TestForkMatchesScratchOversubscribed pins the snapshot engine against
+// the UVM host tier: forking a warmed oversubscribed parent — including
+// at an early point where the migration ring is typically mid-transfer —
+// must reproduce the scratch run byte-for-byte. (Deterministic coverage
+// of serializing a non-empty migration ring lives in the hostmem unit
+// tests; here the fork points sample whatever in-flight state the real
+// run has at those cycles.)
+func TestForkMatchesScratchOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus of full simulations; skipped in -short")
+	}
+	cfg := oversubQuickConfig(0.5)
+	probe, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	specs := forkSpecsFor([]int{4})
+	for _, frac := range []struct {
+		name string
+		at   uint64
+	}{
+		{"early", probe.Cycles / 16},
+		{"steady", probe.Cycles / 2},
+	} {
+		frac := frac
+		if frac.at == 0 {
+			continue
+		}
+		t.Run(frac.name, func(t *testing.T) {
+			results, cols, err := shmgpu.RunForkedSeeded(cfg, "atax", "SHM", 1, frac.at, testutil.QuickTelemetry(), specs)
+			if err != nil {
+				t.Fatalf("forked run: %v", err)
+			}
+			for i, spec := range specs {
+				scfg := cfg
+				scfg.ParallelShards = spec.Shards
+				scfg.DisableFastForward = spec.DisableFastForward
+				forked := testutil.Collect(t, cfg, "atax", "SHM", 1, results[i], cols[i])
+				scratch := testutil.RunCellCfg(t, scfg, "atax", "SHM", 1)
+				label := fmt.Sprintf("forked shards=%d ff=%v", spec.Shards, !spec.DisableFastForward)
+				testutil.AssertEqual(t, label, forked, "scratch", scratch)
+			}
+		})
 	}
 }
 
@@ -136,7 +138,7 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 		t.Skip("full simulations; skipped in -short")
 	}
 	cfg := shmgpu.QuickConfig()
-	tcfg := shmgpu.TelemetryConfig{SampleInterval: 500, CaptureEvents: true}
+	tcfg := testutil.QuickTelemetry()
 	probe, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -154,14 +156,9 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RestoreRun: %v", err)
 	}
-	restored := forkArtifacts(t, "atax", "SHM", 1, res, col, shmgpu.ForkSpec{})
-	scratch := runCell(t, "atax", "SHM", 1, 0, false)
-	if restored.result != scratch.result {
-		t.Errorf("Result diverges:\nrestored: %s\nscratch:  %s", restored.result, scratch.result)
-	}
-	if !bytes.Equal(restored.jsonl, scratch.jsonl) {
-		t.Errorf("telemetry JSONL diverges (%d vs %d bytes)", len(restored.jsonl), len(scratch.jsonl))
-	}
+	restored := testutil.Collect(t, cfg, "atax", "SHM", 1, res, col)
+	scratch := testutil.RunCell(t, "atax", "SHM", 1, 0, false)
+	testutil.AssertEqual(t, "restored", restored, "scratch", scratch)
 
 	if _, _, err := shmgpu.RestoreRun(cfg, "atax", "PSSM", 1, tcfg, path); err == nil {
 		t.Error("restoring under a different scheme succeeded; want fingerprint rejection")
@@ -174,4 +171,49 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	if _, _, err := shmgpu.RestoreRun(bigger, "atax", "SHM", 1, tcfg, path); err == nil {
 		t.Error("restoring under a different GPU config succeeded; want fingerprint rejection")
 	}
+}
+
+// TestSnapshotRejectsPageSizeMismatch extends the fingerprint gate to the
+// UVM axis: a snapshot taken under one page size (or oversubscription
+// ratio) must not restore under another — residency bitmaps and the
+// migration ring are meaningless across page geometries.
+func TestSnapshotRejectsPageSizeMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	cfg := oversubQuickConfig(0.5)
+	tcfg := testutil.QuickTelemetry()
+	probe, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "uvm.snap")
+	written, err := shmgpu.WriteSnapshot(cfg, "atax", "SHM", 1, probe.Cycles/2, tcfg, path)
+	if err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if !written {
+		t.Fatalf("workload finished before cycle %d; nothing captured", probe.Cycles/2)
+	}
+
+	smaller := cfg
+	smaller.UVMPageBytes = 32 << 10
+	if _, _, err := shmgpu.RestoreRun(smaller, "atax", "SHM", 1, tcfg, path); err == nil {
+		t.Error("restoring under a different page size succeeded; want fingerprint rejection")
+	}
+	tighter := cfg
+	tighter.OversubRatio = 0.25
+	if _, _, err := shmgpu.RestoreRun(tighter, "atax", "SHM", 1, tcfg, path); err == nil {
+		t.Error("restoring under a different oversubscription ratio succeeded; want fingerprint rejection")
+	}
+
+	// Sanity: the matching configuration still restores and completes
+	// byte-identically to scratch.
+	res, col, err := shmgpu.RestoreRun(cfg, "atax", "SHM", 1, tcfg, path)
+	if err != nil {
+		t.Fatalf("RestoreRun: %v", err)
+	}
+	restored := testutil.Collect(t, cfg, "atax", "SHM", 1, res, col)
+	scratch := testutil.RunCellCfg(t, cfg, "atax", "SHM", 1)
+	testutil.AssertEqual(t, "restored", restored, "scratch", scratch)
 }

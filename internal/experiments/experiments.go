@@ -442,6 +442,124 @@ func (r *Runner) Fig16() *report.Table {
 	return t
 }
 
+// oversubRatios are the sweep points of the oversubscription study, in
+// decreasing device-frame capacity (fraction of the workload footprint
+// resident on-device; below 1.0 the host tier demand-migrates the rest).
+var oversubRatios = []float64{0.75, 0.5, 0.25}
+
+// oversubWorkloads picks the sweep's benchmark subset: a fixed mix of
+// streaming-dominated and irregular workloads, restricted to the runner's
+// workload list so -workloads still narrows the sweep. The full 15-workload
+// cross product would triple the sweep for no additional shape — the subset
+// covers the two degradation regimes (the streaming cliff, where LRU
+// refaults every streamed page each pass, and the graceful curve of
+// reuse-heavy access).
+func oversubWorkloads(all []string) []string {
+	preferred := map[string]bool{"atax": true, "bfs": true, "mvt": true, "streamcluster": true}
+	var out []string
+	for _, wl := range all {
+		if preferred[wl] {
+			out = append(out, wl)
+		}
+	}
+	if len(out) == 0 {
+		out = all
+	}
+	return out
+}
+
+// FigOversub reproduces the heterogeneous-memory extension study: IPC under
+// the host-backed tier at decreasing resident ratios, for the baseline and
+// every Fig. 12 design, normalized to the insecure tier-off run of the same
+// workload. The "resident" column (tier off, everything device-resident) is
+// each row's departure point; the ratio columns add demand paging over the
+// modeled PCIe link. Cells that saturate the cycle budget while thrashing
+// still report throughput (instructions over the budget), which is exactly
+// the degradation the sweep is after.
+//
+// Ratio cells run on per-ratio sub-runners (the cache key is only
+// workload/scheme, so each ratio needs its own cache); the tier-off cells
+// come from the parent runner and are shared with the other figures. The
+// sub-runners are deliberately unobserved — their cell names would collide
+// with the parent's in the ops plane and the per-run telemetry dumps.
+func (r *Runner) FigOversub() *report.Table {
+	schemes := append([]scheme.Scheme{scheme.Baseline}, fig12Schemes()...)
+	wls := oversubWorkloads(r.workloads)
+
+	subs := make([]*Runner, len(oversubRatios))
+	for i, ratio := range oversubRatios {
+		cfg := r.cfg
+		cfg.HostTier = true
+		cfg.OversubRatio = ratio
+		subs[i] = NewRunner(cfg, wls)
+	}
+
+	// One pool over every cell the table needs — the parent's tier-off
+	// cells (restricted to the sweep subset; shared with the other figures
+	// through the parent cache) and all three ratio sweeps.
+	var tasks []func(worker int)
+	for _, wl := range wls {
+		for _, sch := range schemes {
+			wl, sch := wl, sch
+			tasks = append(tasks, func(worker int) { r.runOn(worker, wl, sch, false) })
+			for _, sub := range subs {
+				sub := sub
+				tasks = append(tasks, func(worker int) { sub.runOn(worker, wl, sch, false) })
+			}
+		}
+	}
+	workers := r.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	p := pool.New(workers)
+	p.RunTagged(tasks)
+	p.Close()
+
+	cols := []string{"benchmark", "scheme", "resident"}
+	for _, ratio := range oversubRatios {
+		cols = append(cols, fmt.Sprintf("r=%.2f", ratio))
+	}
+	t := report.NewTable("Oversubscription sweep: normalized IPC with the host-backed tier", cols...)
+
+	sums := make([][]float64, len(schemes)) // [scheme][1+ratio]
+	for i := range sums {
+		sums[i] = make([]float64, 1+len(oversubRatios))
+	}
+	for _, wl := range wls {
+		base := r.Run(wl, scheme.Baseline)
+		norm := func(res gpu.Result) float64 {
+			if base.IPC() == 0 {
+				return 0
+			}
+			return res.IPC() / base.IPC()
+		}
+		for si, sch := range schemes {
+			row := []interface{}{wl, sch.Name}
+			n := norm(r.Run(wl, sch))
+			sums[si][0] += n
+			row = append(row, n)
+			for ri := range oversubRatios {
+				n := norm(subs[ri].Run(wl, sch))
+				sums[si][1+ri] += n
+				row = append(row, n)
+			}
+			t.AddRow(row...)
+		}
+	}
+	for si, sch := range schemes {
+		avg := []interface{}{"average", sch.Name}
+		for _, sum := range sums[si] {
+			avg = append(avg, sum/float64(len(wls)))
+		}
+		t.AddRow(avg...)
+	}
+	return t
+}
+
 // TableVII checks the measured baseline bandwidth utilization against the
 // paper's per-benchmark bands.
 func (r *Runner) TableVII() *report.Table {

@@ -69,6 +69,19 @@ type ConfigSpec struct {
 	// counts regardless; this field lets a repro pin the mode it failed in.
 	ParallelShards int `json:"parallel_shards,omitempty"`
 
+	// UVM host-tier knobs. OversubPct > 0 enables the host-backed tier
+	// with a device frame budget covering OversubPct percent of the
+	// working set (100 ⇒ everything fits, which the migration-equivalence
+	// oracle pins byte-identical to the tier being off). UVMPageKB
+	// overrides the migration page size (tiny-base default 16 KB, so even
+	// one-buffer working sets span several pages); UVMFIFO switches the
+	// eviction policy from LRU to FIFO; UVMHostSide selects the cheap
+	// host-side integrity mode instead of the device-side rebuild.
+	OversubPct  int  `json:"oversub_pct,omitempty"`
+	UVMPageKB   int  `json:"uvm_page_kb,omitempty"`
+	UVMFIFO     bool `json:"uvm_fifo,omitempty"`
+	UVMHostSide bool `json:"uvm_hostside,omitempty"`
+
 	// MEE / detector knobs, applied through Config.MEETune.
 	MDCacheBytes   int    `json:"mdc_bytes,omitempty"`
 	Trackers       int    `json:"trackers,omitempty"`
@@ -127,6 +140,7 @@ const (
 	baseKernels      = 1
 	baseBufferKB     = 16
 	baseBufferWeight = 1.0
+	baseUVMPageKB    = 16
 )
 
 // DefaultSchemes is the scheme set a Case with no explicit Schemes runs:
@@ -191,6 +205,17 @@ func (c Case) GPUConfig() gpu.Config {
 			BytesPerCycleFP: 4759,
 			QueueDepth:      orInt(s.DRAMQueueDepth, baseDRAMQueue),
 		},
+	}
+	if s.OversubPct > 0 {
+		cfg.HostTier = true
+		cfg.OversubRatio = float64(s.OversubPct) / 100
+		cfg.UVMPageBytes = uint64(orInt(s.UVMPageKB, baseUVMPageKB)) << 10
+		if s.UVMFIFO {
+			cfg.UVMMigrationPolicy = "fifo"
+		}
+		if s.UVMHostSide {
+			cfg.UVMHostIntegrity = "hostside"
+		}
 	}
 	if s.needsMEETune() {
 		s := s // capture the spec, not the loop/receiver variable

@@ -93,6 +93,44 @@ func TestCheckCaseGreen(t *testing.T) {
 	}
 }
 
+// TestCheckCaseGreenUVM runs the battery over hand-picked host-tier
+// cells on both sides of the fit boundary: the oversubscribed cells
+// push fault/replay/eviction traffic through every equivalence oracle
+// (fast-forward, parallel, fork, determinism) plus the
+// migration-equivalence oracle's forced ratio-1.0 comparison, across
+// both eviction policies and both integrity modes; the 100% cell sits
+// exactly on the boundary where the tier must be invisible.
+func TestCheckCaseGreenUVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle battery in -short")
+	}
+	cells := []Case{
+		{Name: "uvm-lru-rebuild", Seed: 7,
+			Config: ConfigSpec{OversubPct: 50, UVMPageKB: 4},
+			Workload: WorkloadSpec{Buffers: []BufferSpec{
+				{KB: 32, Pattern: "random"}, {KB: 16, WriteFrac: 0.5}}}},
+		{Name: "uvm-fifo-hostside", Seed: 8,
+			Config: ConfigSpec{OversubPct: 25, UVMPageKB: 4, UVMFIFO: true, UVMHostSide: true},
+			Workload: WorkloadSpec{Buffers: []BufferSpec{
+				{KB: 48, ReadOnly: true, HostCopied: true}, {KB: 16, WriteFrac: 1.0}}}},
+		{Name: "uvm-fit-boundary", Seed: 9,
+			Config:   ConfigSpec{OversubPct: 100},
+			Workload: WorkloadSpec{Buffers: []BufferSpec{{KB: 32}}}},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			vs, err := CheckCase(c)
+			if err != nil {
+				t.Fatalf("cell invalid: %v", err)
+			}
+			for _, v := range vs {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
 // TestShrinkKnownBad: the acceptance-bar test — a seeded known-bad case
 // (a stand-in defect triggered by a random-pattern buffer together with a
 // non-default detector window, so the shrinker has real work in both the

@@ -106,6 +106,17 @@ func Generate(rng *rand.Rand) Case {
 	if chance(rng, 0.3) {
 		s.MaxKCycles = pick(rng, 20, 40, 80)
 	}
+	// UVM host tier: ratios straddling the fit boundary (100% exactly is
+	// the migration-equivalence edge), small pages so tiny working sets
+	// still span several, both eviction policies and integrity modes.
+	if chance(rng, 0.35) {
+		s.OversubPct = pick(rng, 25, 50, 75, 100, 150)
+		if chance(rng, 0.5) {
+			s.UVMPageKB = pick(rng, 4, 16, 64)
+		}
+		s.UVMFIFO = chance(rng, 0.3)
+		s.UVMHostSide = chance(rng, 0.3)
+	}
 
 	// --- workload ---
 	w := &c.Workload

@@ -21,7 +21,8 @@ import (
 type Violation struct {
 	// Oracle names the violated property ("ff-equivalence",
 	// "parallel-equivalence", "fork-equivalence", "determinism",
-	// "sanitizer-transparency", "detector-ablation", "metamorphic-ipc",
+	// "sanitizer-transparency", "detector-ablation",
+	// "migration-equivalence", "metamorphic-ipc",
 	// "metamorphic-metadata", "conservation", "invariant").
 	Oracle string `json:"oracle"`
 	// Scheme is the design under which the violation surfaced.
@@ -362,6 +363,36 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 		return nil, err
 	}
 	vs = append(vs, fvs...)
+
+	// Migration equivalence: a host tier whose frame budget covers the
+	// whole working set (ratio ≥ 1.0) prepopulates everything, never
+	// faults, and must be entirely invisible — byte-identical Result,
+	// stats registry, and telemetry versus the tier disabled outright.
+	// Checked on the detector-heavy scheme; each side reuses the
+	// battery's existing artifacts when the cell already sits on that
+	// side of the fit boundary, so the common case costs one extra run.
+	{
+		on, off := arts[det], arts[det]
+		if c.Config.OversubPct < 100 {
+			fit := c
+			fit.Config.OversubPct = 100
+			fitArts, _, err := fit.runArtifacts(opts.Obs, det, detSch.Options, false, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			on = fitArts
+		}
+		if c.Config.OversubPct != 0 {
+			bare := c
+			bare.Config.OversubPct = 0
+			bareArts, _, err := bare.runArtifacts(opts.Obs, det, detSch.Options, false, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			off = bareArts
+		}
+		vs = append(vs, diffArtifacts("migration-equivalence", det, "host-tier(ratio>=1.0)", "host-tier-off", on, off)...)
+	}
 
 	// Detector ablation: SHM options with both adaptive mechanisms
 	// disabled must be indistinguishable from the PSSM preset — the two

@@ -186,6 +186,8 @@ func candidates(c Case) []Case {
 		{s.StreamEntries, func(s *ConfigSpec, v int) { s.StreamEntries = v }},
 		{s.MEEInputQueue, func(s *ConfigSpec, v int) { s.MEEInputQueue = v }},
 		{s.MEEIssue, func(s *ConfigSpec, v int) { s.MEEIssue = v }},
+		{s.OversubPct, func(s *ConfigSpec, v int) { s.OversubPct = v }},
+		{s.UVMPageKB, func(s *ConfigSpec, v int) { s.UVMPageKB = v }},
 	} {
 		f := f
 		if f.val != 0 {
@@ -197,6 +199,12 @@ func candidates(c Case) []Case {
 	}
 	if s.MonitorLead != 0 {
 		tryC(func(s *ConfigSpec) { s.MonitorLead = 0 })
+	}
+	if s.UVMFIFO {
+		tryC(func(s *ConfigSpec) { s.UVMFIFO = false })
+	}
+	if s.UVMHostSide {
+		tryC(func(s *ConfigSpec) { s.UVMHostSide = false })
 	}
 
 	// Seed and name cosmetics last: a failure that survives a seed swap

@@ -22,6 +22,10 @@ type fixedWorkload struct {
 func (w *fixedWorkload) Name() string { return "fixed-stream" }
 func (w *fixedWorkload) Kernels() int { return 1 }
 
+// Footprint lets the UVM host tier size its page table to the actual
+// working set (the oversubscribed alloc cases depend on it).
+func (w *fixedWorkload) Footprint() uint64 { return w.bufBytes }
+
 func (w *fixedWorkload) Setup(k int) KernelSetup {
 	return KernelSetup{
 		CopyRanges: []AddrRange{{0, memdef.Addr(w.bufBytes)}},
@@ -70,13 +74,21 @@ func (p *fixedWarp) Next() (int, MemInst, bool) {
 // steady-state capacity. shards > 0 runs the warm-up and measurement under
 // the sharded parallel engine (its outboxes and shard buffers must likewise
 // reach capacity during warm-up, not grow per tick).
-func steadyState(t *testing.T, opts secmem.Options, shards int) *System {
+// oversub > 0 additionally enables the UVM host tier at that ratio, so
+// the measured ticks cover the fault/replay/migration path too.
+func steadyState(t *testing.T, opts secmem.Options, shards int, oversub float64) *System {
 	t.Helper()
 	cfg := smallConfig()
 	cfg.ParallelShards = shards
+	if oversub > 0 {
+		cfg.HostTier = true
+		cfg.OversubRatio = oversub
+		cfg.UVMPCIeBytesPerCycle = 256
+	}
 	wl := &fixedWorkload{bufBytes: 40 << 20, compute: 4, insts: 20_000}
 	s := NewSystem(cfg, opts)
 	s.applySetup(0, wl.Setup(0))
+	s.startUVM(wl)
 	for _, sm := range s.sms {
 		sm.launch(0, wl)
 	}
@@ -102,37 +114,41 @@ func steadyState(t *testing.T, opts secmem.Options, shards int) *System {
 // per-cycle garbage (map churn, queue re-slicing, scratch slices) sneaks back
 // into the simulator.
 func TestTickSteadyStateAllocFree(t *testing.T) {
+	shmOpts := secmem.Options{
+		Enabled: true, LocalMetadata: true, SectoredMetadata: true,
+		ReadOnlyOpt: true, DualGranMAC: true,
+	}
 	cases := []struct {
 		name     string
 		opts     secmem.Options
 		shards   int
 		observed bool
+		oversub  float64
 	}{
-		{"Baseline", secmem.Options{}, 0, false},
-		{"Naive", secmem.Options{Enabled: true}, 0, false},
-		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0, false},
-		{"SHM", secmem.Options{
-			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
-			ReadOnlyOpt: true, DualGranMAC: true,
-		}, 0, false},
+		{"Baseline", secmem.Options{}, 0, false, 0},
+		{"Naive", secmem.Options{Enabled: true}, 0, false, 0},
+		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0, false, 0},
+		{"SHM", shmOpts, 0, false, 0},
 		// The sharded engine must be allocation-free too: shard scratch
 		// (outboxes, horizons, pool batches) is preallocated, not per-tick.
-		{"Baseline/shards=4", secmem.Options{}, 4, false},
-		{"SHM/shards=4", secmem.Options{
-			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
-			ReadOnlyOpt: true, DualGranMAC: true,
-		}, 4, false},
+		{"Baseline/shards=4", secmem.Options{}, 4, false, 0},
+		{"SHM/shards=4", shmOpts, 4, false, 0},
 		// The live ops plane must honour the same contract: a progress
 		// heartbeat is one comparison per tick plus an atomic store per
 		// interval, never an allocation.
-		{"SHM/observed", secmem.Options{
-			Enabled: true, LocalMetadata: true, SectoredMetadata: true,
-			ReadOnlyOpt: true, DualGranMAC: true,
-		}, 0, true},
+		{"SHM/observed", shmOpts, 0, true, 0},
+		// The UVM host tier is preallocated at construction: neither the
+		// non-faulting admit path (ratio ≥ 1.0, everything resident) nor
+		// the fault/replay/eviction/migration machinery itself (ratio
+		// 0.5, faulting throughout the measurement) may allocate, under
+		// either engine.
+		{"SHM/oversub-fit", shmOpts, 0, false, 1.5},
+		{"SHM/oversub=0.5", shmOpts, 0, false, 0.5},
+		{"SHM/oversub=0.5/shards=4", shmOpts, 4, false, 0.5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := steadyState(t, tc.opts, tc.shards)
+			s := steadyState(t, tc.opts, tc.shards, tc.oversub)
 			if tc.observed {
 				p, err := obs.Start(obs.Options{Tool: "alloc-test"})
 				if err != nil {

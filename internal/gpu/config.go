@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"shmgpu/internal/dram"
+	"shmgpu/internal/hostmem"
 	"shmgpu/internal/secmem"
 )
 
@@ -82,6 +83,35 @@ type Config struct {
 	// XbarLatency 0 (the exchange relies on responses maturing strictly
 	// after the tick that produced them).
 	ParallelShards int
+	// HostTier enables the host-backed memory tier (UVM demand paging):
+	// the workload's footprint starts host-resident behind a
+	// page-granularity migration boundary, and crossbar admission faults
+	// on non-resident pages (see internal/hostmem and uvm.go). With
+	// OversubRatio >= 1 the working set fits in device frames, every
+	// page is prepopulated, and results are byte-identical to
+	// HostTier=false — the migration-equivalence property the fuzz
+	// battery pins.
+	HostTier bool
+	// UVMPageBytes is the migration page size (0 = hostmem default;
+	// must be a power of two).
+	UVMPageBytes uint64
+	// OversubRatio is device frame capacity as a fraction of the
+	// workload footprint: frames = floor(ratio * pages), so 0.5 fits
+	// half the working set. Values >= 1 disable faulting entirely.
+	// Required (> 0) when HostTier is set.
+	OversubRatio float64
+	// UVMMigrationPolicy selects the eviction victim: "lru" (default)
+	// or "fifo".
+	UVMMigrationPolicy string
+	// UVMHostIntegrity selects metadata handling across the PCIe
+	// boundary: "rebuild" (default) tears down device-side
+	// counter/MAC/BMT coverage on eviction and fully re-establishes it
+	// on fault-in (detector-visible, expensive); "hostside" trusts a
+	// host-side MEE to keep coverage valid, so fault-in only re-keys.
+	UVMHostIntegrity string
+	// UVMPCIeLatency and UVMPCIeBytesPerCycle override the modeled
+	// migration link (0 = hostmem defaults).
+	UVMPCIeLatency, UVMPCIeBytesPerCycle uint64
 }
 
 // DefaultConfig returns the paper's baseline GPU (Table V), with a device
@@ -129,6 +159,20 @@ func (c Config) Validate() error {
 	}
 	if c.ParallelShards < 0 {
 		return fmt.Errorf("gpu: ParallelShards must be non-negative, got %d", c.ParallelShards)
+	}
+	if c.HostTier {
+		if !(c.OversubRatio > 0) {
+			return fmt.Errorf("gpu: HostTier requires OversubRatio > 0, got %g", c.OversubRatio)
+		}
+		if c.UVMPageBytes != 0 && c.UVMPageBytes&(c.UVMPageBytes-1) != 0 {
+			return fmt.Errorf("gpu: UVMPageBytes %d is not a power of two", c.UVMPageBytes)
+		}
+		if _, err := hostmem.ParsePolicy(c.UVMMigrationPolicy); err != nil {
+			return err
+		}
+		if _, err := hostmem.ParseIntegrity(c.UVMHostIntegrity); err != nil {
+			return err
+		}
 	}
 	return c.DRAM.Validate()
 }

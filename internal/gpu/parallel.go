@@ -255,6 +255,13 @@ func (e *parEngine) tick(now uint64) {
 	}
 	s.tickNow = now
 
+	// The host tier completes due page migrations before the crossbar
+	// drains — the same position the sequential loop ticks it at, so
+	// fault replays admit on identical cycles.
+	if s.uvm != nil {
+		s.uvm.tick(now)
+	}
+
 	// Crossbar admission in SM order: each drain sees the partition queue
 	// depths left by earlier SMs' drains, exactly as the sequential loop
 	// interleaves them (issue never touches the crossbar, so hoisting the
@@ -480,6 +487,11 @@ func (e *parEngine) reduceHorizon(now uint64) {
 			v = now + 1
 		}
 		if v < next {
+			next = v
+		}
+	}
+	if s.uvm != nil {
+		if v := s.uvm.tier.NextEvent(now); v < next {
 			next = v
 		}
 	}

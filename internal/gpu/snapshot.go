@@ -286,6 +286,12 @@ func (s *System) SaveState(e *snapshot.Encoder, wl Workload) error {
 	for _, ch := range s.channels {
 		ch.SaveState(e)
 	}
+	// Host-tier presence is fully determined by cfg.HostTier, which the
+	// fingerprint covers, so the blob needs no presence marker.
+	if s.uvm != nil {
+		s.uvm.tier.SaveState(e)
+		e.U64(s.uvm.roTransitions)
+	}
 	swl.SaveState(e)
 	e.Bool(s.tele != nil)
 	if s.tele != nil {
@@ -393,6 +399,16 @@ func (s *System) LoadState(d *snapshot.Decoder, wl Workload) error {
 	}
 	for _, ch := range s.channels {
 		if err := ch.LoadState(d); err != nil {
+			return err
+		}
+	}
+	if s.cfg.HostTier {
+		// The fingerprint guarantees the snapshot was captured with the
+		// same tier geometry; build the tier then restore its state.
+		s.startUVM(wl)
+		s.uvm.tier.LoadState(d)
+		s.uvm.roTransitions = d.U64()
+		if err := d.Err(); err != nil {
 			return err
 		}
 	}

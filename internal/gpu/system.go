@@ -151,6 +151,10 @@ type System struct {
 	// par, when non-nil, is the sharded parallel tick engine (parallel.go);
 	// tickOnce and nextEventCycle dispatch to it.
 	par *parEngine
+	// uvm, when non-nil, is the host-backed memory tier (Config.HostTier;
+	// see uvm.go): crossbar admission faults on non-resident pages and the
+	// tier's migrations tick in the sequential pre-phase of both engines.
+	uvm *uvmState
 }
 
 // AttachTelemetry installs a collector on every component's probe point.
@@ -378,6 +382,7 @@ func (s *System) beginRun(wl Workload) {
 	if ts, ok := wl.(TickSynced); ok {
 		s.syncer = ts
 	}
+	s.startUVM(wl)
 	s.startParallel()
 }
 
@@ -645,6 +650,14 @@ func (s *System) nextEventCycle(now uint64) uint64 {
 			}
 		}
 	}
+	if s.uvm != nil {
+		if v := s.uvm.tier.NextEvent(now); v < next {
+			next = v
+			if next <= now+1 {
+				return now + 1
+			}
+		}
+	}
 	if s.tele != nil {
 		if at := s.tele.NextSampleAt(); at != ^uint64(0) {
 			if at <= now+1 {
@@ -681,8 +694,12 @@ func (s *System) pendingSummary() string {
 	for _, ch := range s.channels {
 		dramPend += ch.Pending()
 	}
-	return fmt.Sprintf("%d xbar entries, %d responses, %d busy L2 banks, %d busy MEEs, %d pending DRAM requests",
-		xbar, resp, l2, meeBusy, dramPend)
+	migrations := 0
+	if s.uvm != nil {
+		migrations = s.uvm.tier.InflightMigrations()
+	}
+	return fmt.Sprintf("%d xbar entries, %d responses, %d busy L2 banks, %d busy MEEs, %d pending DRAM requests, %d in-flight page migrations",
+		xbar, resp, l2, meeBusy, dramPend, migrations)
 }
 
 // acceptRequest is the crossbar admission path SMs call while issuing; it
@@ -691,6 +708,13 @@ func (s *System) pendingSummary() string {
 func (s *System) acceptRequest(r smRequest) bool {
 	part, local := s.pmap.ToLocal(r.addr)
 	if s.toPart[part].Len() >= s.cfg.XbarQueueDepth {
+		return false
+	}
+	// Page-residency gate: a non-resident page faults (or keeps
+	// migrating) and the request replays from the miss-queue head next
+	// cycle. Checked after the queue-depth gate so the tier only ever
+	// sees admission attempts that would otherwise succeed.
+	if s.uvm != nil && !s.uvm.admit(r.addr, r.write, s.tickNow) {
 		return false
 	}
 	kind := memdef.Read
@@ -732,6 +756,12 @@ func (s *System) tickOnce(now uint64) {
 		s.tele.MaybeSample(now, s.snapFn)
 	}
 	s.tickNow = now
+
+	// 0. The host tier completes due page migrations, so a page ready at
+	// cycle N admits this tick's retries (same position in both engines).
+	if s.uvm != nil {
+		s.uvm.tick(now)
+	}
 
 	// 1. SMs issue instructions; misses enter the crossbar.
 	for _, sm := range s.sms {
@@ -837,6 +867,9 @@ func (s *System) drained() bool {
 			return false
 		}
 	}
+	if s.uvm != nil && s.uvm.tier.InflightMigrations() > 0 {
+		return false
+	}
 	return true
 }
 
@@ -880,6 +913,9 @@ func (s *System) collect(workload string, completed bool) Result {
 		ro, st := mee.AccuracyResults()
 		res.ROAccuracy.Merge(&ro)
 		res.StreamAccuracy.Merge(&st)
+	}
+	if s.uvm != nil {
+		s.uvm.mergeInto(&res)
 	}
 	return res
 }

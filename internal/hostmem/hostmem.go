@@ -1,0 +1,564 @@
+// Package hostmem models a host-backed memory tier behind a
+// page-granularity demand-migration boundary (UVM-style). The GPU side
+// owns a fixed number of device page frames; accesses to non-resident
+// pages fault, start a PCIe-modeled migration, and are retried by the
+// requester until the page arrives (AMD XNACK retry-on-fault). When the
+// working set exceeds the frame budget a victim page is evicted per the
+// configured policy, with dirty pages paying a writeback transfer.
+//
+// The tier is deliberately engine-agnostic: it knows nothing about SMs,
+// crossbars, or the MEE. The embedding layer drives it through three
+// calls — Access on every admission attempt, Tick once per cycle, and
+// NextEvent for the fast-forward horizon — and observes migrations via
+// the OnFaultIn/OnEvict callbacks (metadata teardown/re-establishment
+// and telemetry live there). All state is preallocated at construction;
+// the per-cycle path performs no heap allocation.
+package hostmem
+
+import (
+	"fmt"
+
+	"shmgpu/internal/snapshot"
+)
+
+// Policy selects the eviction victim among resident pages.
+type Policy uint8
+
+const (
+	// PolicyLRU evicts the resident page with the oldest access stamp.
+	PolicyLRU Policy = iota
+	// PolicyFIFO evicts the resident page with the oldest admission.
+	PolicyFIFO
+)
+
+// ParsePolicy maps a config string to a Policy. The empty string means
+// the default (LRU).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "lru":
+		return PolicyLRU, nil
+	case "fifo":
+		return PolicyFIFO, nil
+	}
+	return PolicyLRU, fmt.Errorf("hostmem: unknown migration policy %q", s)
+}
+
+func (p Policy) String() string {
+	if p == PolicyFIFO {
+		return "fifo"
+	}
+	return "lru"
+}
+
+// Integrity selects how security metadata is re-established when a page
+// faults in from the host tier.
+type Integrity uint8
+
+const (
+	// IntegrityRebuild tears down device-side counter/MAC/BMT coverage
+	// on eviction and fully rebuilds it on fault-in (the expensive,
+	// device-trust-only mode).
+	IntegrityRebuild Integrity = iota
+	// IntegrityHostSide keeps integrity metadata valid while the page
+	// lives host-side, so fault-in only re-keys the page (cheap mode;
+	// trusts the host-side MEE to maintain coverage).
+	IntegrityHostSide
+)
+
+// ParseIntegrity maps a config string to an Integrity mode. The empty
+// string means the default (full rebuild).
+func ParseIntegrity(s string) (Integrity, error) {
+	switch s {
+	case "", "rebuild":
+		return IntegrityRebuild, nil
+	case "hostside":
+		return IntegrityHostSide, nil
+	}
+	return IntegrityRebuild, fmt.Errorf("hostmem: unknown host integrity mode %q", s)
+}
+
+func (i Integrity) String() string {
+	if i == IntegrityHostSide {
+		return "hostside"
+	}
+	return "rebuild"
+}
+
+// Default timing parameters. PCIe numbers approximate a Gen3 x16 link
+// relative to the simulator's GPU core clock: ~600 cycles one-way
+// latency and 16 B/cycle of migration bandwidth.
+const (
+	DefaultPageBytes         = 64 << 10
+	DefaultPCIeLatency       = 600
+	DefaultPCIeBytesPerCycle = 16
+	DefaultMaxInflight       = 16
+	DefaultThrashWindow      = 4096
+	// Metadata re-establishment cost per fault-in: a full BMT/counter
+	// rebuild walks the page's counter and MAC blocks; host-side
+	// integrity only re-keys.
+	DefaultRebuildCycles  = 256
+	DefaultHostSideCycles = 32
+)
+
+// Config parameterizes a Tier. Zero values take the package defaults,
+// except Frames which must be set explicitly (the embedding layer
+// derives it from the oversubscription ratio).
+type Config struct {
+	PageBytes         uint64
+	Frames            int // device page frames available to this tier
+	Policy            Policy
+	Integrity         Integrity
+	PCIeLatency       uint64 // one-way link latency, cycles
+	PCIeBytesPerCycle uint64 // migration bandwidth
+	MetaCycles        uint64 // per-fault metadata cost; 0 = by Integrity
+	MaxInflight       int    // migration ring capacity
+	ThrashWindow      uint64 // eviction younger than this counts as thrash
+}
+
+func (c *Config) applyDefaults() {
+	if c.PageBytes == 0 {
+		c.PageBytes = DefaultPageBytes
+	}
+	if c.PCIeLatency == 0 {
+		c.PCIeLatency = DefaultPCIeLatency
+	}
+	if c.PCIeBytesPerCycle == 0 {
+		c.PCIeBytesPerCycle = DefaultPCIeBytesPerCycle
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.ThrashWindow == 0 {
+		c.ThrashWindow = DefaultThrashWindow
+	}
+	if c.MetaCycles == 0 {
+		if c.Integrity == IntegrityHostSide {
+			c.MetaCycles = DefaultHostSideCycles
+		} else {
+			c.MetaCycles = DefaultRebuildCycles
+		}
+	}
+}
+
+// Validate rejects configurations the tier cannot run.
+func (c Config) Validate() error {
+	if c.PageBytes != 0 && c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("hostmem: PageBytes %d is not a power of two", c.PageBytes)
+	}
+	if c.Frames < 0 {
+		return fmt.Errorf("hostmem: negative Frames %d", c.Frames)
+	}
+	return nil
+}
+
+// Stats counts tier activity since construction (or load).
+type Stats struct {
+	Faults          uint64 // migrations started
+	Replays         uint64 // retried accesses to a faulted/busy page
+	MigrationsIn    uint64 // migrations completed
+	Evictions       uint64
+	WritebacksDirty uint64
+	WritebacksClean uint64
+	Thrash          uint64 // evictions within ThrashWindow of admission
+	BytesIn         uint64
+	BytesOut        uint64
+	MetaCycles      uint64 // cumulative metadata re-establishment cycles
+}
+
+// AccessResult classifies one admission attempt.
+type AccessResult uint8
+
+const (
+	// Admit: page resident (or untracked); the access proceeds.
+	Admit AccessResult = iota
+	// Fault: page was host-resident; a migration just started. The
+	// access must be retried (pause-and-replay).
+	Fault
+	// Stall: page is migrating, or the migration ring is full. The
+	// access must be retried.
+	Stall
+)
+
+type pageState uint8
+
+const (
+	pageHost pageState = iota
+	pageMigrating
+	pageResident
+)
+
+type migration struct {
+	page    int
+	faultAt uint64 // cycle the fault was taken
+	ready   uint64 // cycle the page becomes resident
+}
+
+// Tier tracks page residency for one contiguous working set starting at
+// address 0 (the simulator places all workload buffers there). Pages at
+// or beyond the working set are untracked and always admit.
+type Tier struct {
+	cfg      Config
+	numPages int
+
+	state   []pageState
+	dirty   []bool
+	stamp   []uint64 // LRU: last-access seq; FIFO: admission seq
+	admitAt []uint64 // admission cycle, for thrash detection
+
+	seq       uint64 // monotonic access sequence (cycle-tie-free LRU)
+	ring      []migration
+	ringHead  int
+	ringLen   int
+	busyUntil uint64 // PCIe link serialization point
+	resident  int
+
+	stats Stats
+
+	// OnFaultIn fires when a migration completes (page now resident);
+	// latency is fault-to-ready in cycles. OnEvict fires when a victim
+	// is dropped to the host tier; thrash marks an eviction within
+	// ThrashWindow of the victim's admission. Both may be nil. Bound
+	// once before the run; never called concurrently.
+	OnFaultIn func(page int, latency uint64)
+	OnEvict   func(page int, dirty, thrash bool)
+}
+
+// New builds a tier covering workingSetBytes. Frames ≥ the page count
+// means the working set fits: every page is prepopulated resident and
+// the tier never faults, so behaviour is byte-identical to no tier at
+// all (the migration-equivalence property).
+func New(cfg Config, workingSetBytes uint64) (*Tier, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workingSetBytes == 0 {
+		workingSetBytes = cfg.PageBytes
+	}
+	numPages := int((workingSetBytes + cfg.PageBytes - 1) / cfg.PageBytes)
+	if numPages < 1 {
+		numPages = 1
+	}
+	if cfg.Frames < 1 {
+		cfg.Frames = 1
+	}
+	if cfg.Frames > numPages {
+		cfg.Frames = numPages
+	}
+	t := &Tier{
+		cfg:      cfg,
+		numPages: numPages,
+		state:    make([]pageState, numPages),
+		dirty:    make([]bool, numPages),
+		stamp:    make([]uint64, numPages),
+		admitAt:  make([]uint64, numPages),
+		ring:     make([]migration, cfg.MaxInflight),
+	}
+	// Initial placement: the host→device setup copy fills the frame
+	// budget in page order before the run starts, so only the overflow
+	// demand-migrates. Placement is free (no stats): when the working
+	// set fits (Frames == numPages) the tier never faults and is
+	// indistinguishable from tier-off (the migration-equivalence
+	// property).
+	for p := 0; p < cfg.Frames; p++ {
+		t.state[p] = pageResident
+		t.stamp[p] = t.seq
+		t.seq++
+	}
+	t.resident = cfg.Frames
+	return t, nil
+}
+
+// NumPages reports the tracked page count.
+func (t *Tier) NumPages() int { return t.numPages }
+
+// Resident reports how many tracked pages are device-resident.
+func (t *Tier) Resident() int { return t.resident }
+
+// Frames reports the effective device frame budget.
+func (t *Tier) Frames() int { return t.cfg.Frames }
+
+// PageBytes reports the effective page size.
+func (t *Tier) PageBytes() uint64 { return t.cfg.PageBytes }
+
+// Stats returns a copy of the activity counters.
+func (t *Tier) Stats() Stats { return t.stats }
+
+// InflightMigrations reports how many migrations are in flight.
+func (t *Tier) InflightMigrations() int { return t.ringLen }
+
+// PageOf maps an address to its page index (may be ≥ NumPages for
+// addresses outside the tracked working set).
+func (t *Tier) PageOf(addr uint64) int { return int(addr / t.cfg.PageBytes) }
+
+// PageRange returns the [lo, hi) address span of a tracked page.
+func (t *Tier) PageRange(page int) (lo, hi uint64) {
+	lo = uint64(page) * t.cfg.PageBytes
+	return lo, lo + t.cfg.PageBytes
+}
+
+// IsResident reports whether a page is device-resident (untracked pages
+// count as resident).
+func (t *Tier) IsResident(page int) bool {
+	if page < 0 || page >= t.numPages {
+		return true
+	}
+	return t.state[page] == pageResident
+}
+
+// Access attempts to admit one memory access at cycle now. Admit means
+// the access proceeds; Fault/Stall mean the requester must hold the
+// access at the head of its queue and retry next cycle.
+func (t *Tier) Access(addr uint64, write bool, now uint64) AccessResult {
+	page := int(addr / t.cfg.PageBytes)
+	if page >= t.numPages {
+		return Admit
+	}
+	switch t.state[page] {
+	case pageResident:
+		if t.cfg.Policy == PolicyLRU {
+			t.stamp[page] = t.seq
+			t.seq++
+		}
+		if write {
+			t.dirty[page] = true
+		}
+		return Admit
+	case pageMigrating:
+		t.stats.Replays++
+		return Stall
+	}
+	// Host-resident: take the fault if a migration slot is free.
+	if t.ringLen == t.cfg.MaxInflight {
+		t.stats.Replays++
+		return Stall
+	}
+	if t.resident+t.ringLen >= t.cfg.Frames && !t.evictOne(now) {
+		// Every frame is reserved by an in-flight migration.
+		t.stats.Replays++
+		return Stall
+	}
+	// Transfers serialize on the link; latency and the metadata
+	// re-establishment pipeline across back-to-back migrations.
+	transfer := t.cfg.PageBytes / t.cfg.PCIeBytesPerCycle
+	if transfer == 0 {
+		transfer = 1
+	}
+	start := now
+	if t.busyUntil > start {
+		start = t.busyUntil
+	}
+	t.busyUntil = start + transfer
+	ready := start + transfer + t.cfg.PCIeLatency + t.cfg.MetaCycles
+	t.state[page] = pageMigrating
+	t.stats.Faults++
+	t.stats.BytesIn += t.cfg.PageBytes
+	t.stats.MetaCycles += t.cfg.MetaCycles
+	t.ring[(t.ringHead+t.ringLen)%len(t.ring)] = migration{page: page, faultAt: now, ready: ready}
+	t.ringLen++
+	return Fault
+}
+
+// evictOne drops the policy victim to the host tier, charging a dirty
+// writeback to the shared link when needed. Returns false when no
+// resident victim exists.
+func (t *Tier) evictOne(now uint64) bool {
+	victim := -1
+	var best uint64
+	for p := 0; p < t.numPages; p++ {
+		if t.state[p] != pageResident {
+			continue
+		}
+		if victim < 0 || t.stamp[p] < best {
+			victim = p
+			best = t.stamp[p]
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	wasDirty := t.dirty[victim]
+	t.state[victim] = pageHost
+	t.dirty[victim] = false
+	t.resident--
+	t.stats.Evictions++
+	if wasDirty {
+		t.stats.WritebacksDirty++
+		t.stats.BytesOut += t.cfg.PageBytes
+		transfer := t.cfg.PageBytes / t.cfg.PCIeBytesPerCycle
+		if transfer == 0 {
+			transfer = 1
+		}
+		if t.busyUntil < now {
+			t.busyUntil = now
+		}
+		t.busyUntil += transfer
+	} else {
+		t.stats.WritebacksClean++
+	}
+	thrash := now-t.admitAt[victim] < t.cfg.ThrashWindow
+	if thrash {
+		t.stats.Thrash++
+	}
+	if t.OnEvict != nil {
+		t.OnEvict(victim, wasDirty, thrash)
+	}
+	return true
+}
+
+// Tick completes migrations whose transfer has finished. Ready cycles
+// are monotonic along the ring (the link is serialized), so popping
+// from the head preserves completion order.
+func (t *Tier) Tick(now uint64) {
+	for t.ringLen > 0 {
+		m := t.ring[t.ringHead]
+		if m.ready > now {
+			return
+		}
+		t.ringHead = (t.ringHead + 1) % len(t.ring)
+		t.ringLen--
+		t.state[m.page] = pageResident
+		t.resident++
+		t.stamp[m.page] = t.seq
+		t.seq++
+		t.admitAt[m.page] = now
+		t.stats.MigrationsIn++
+		if t.OnFaultIn != nil {
+			t.OnFaultIn(m.page, m.ready-m.faultAt)
+		}
+	}
+}
+
+// NextEvent reports the earliest future cycle at which the tier can act
+// (the head migration's completion), or ^uint64(0) when idle. Callers
+// fold this into the fast-forward horizon.
+func (t *Tier) NextEvent(now uint64) uint64 {
+	if t.ringLen == 0 {
+		return ^uint64(0)
+	}
+	r := t.ring[t.ringHead].ready
+	if r <= now {
+		return now + 1
+	}
+	return r
+}
+
+// SaveState serializes all mutable tier state. Geometry (page size,
+// frame count) is derived from config and covered by the snapshot
+// fingerprint, so only a consistency header is written.
+func (t *Tier) SaveState(e *snapshot.Encoder) {
+	e.U64(t.cfg.PageBytes)
+	e.Int(t.cfg.Frames)
+	e.Int(t.numPages)
+	e.U64(t.seq)
+	e.U64(t.busyUntil)
+	e.Int(t.resident)
+	st := make([]byte, t.numPages)
+	for i, s := range t.state {
+		st[i] = byte(s)
+	}
+	e.Bytes(st)
+	db := make([]byte, t.numPages)
+	for i, d := range t.dirty {
+		if d {
+			db[i] = 1
+		}
+	}
+	e.Bytes(db)
+	for _, v := range t.stamp {
+		e.U64(v)
+	}
+	for _, v := range t.admitAt {
+		e.U64(v)
+	}
+	e.Int(t.ringLen)
+	for i := 0; i < t.ringLen; i++ {
+		m := t.ring[(t.ringHead+i)%len(t.ring)]
+		e.Int(m.page)
+		e.U64(m.faultAt)
+		e.U64(m.ready)
+	}
+	e.U64(t.stats.Faults)
+	e.U64(t.stats.Replays)
+	e.U64(t.stats.MigrationsIn)
+	e.U64(t.stats.Evictions)
+	e.U64(t.stats.WritebacksDirty)
+	e.U64(t.stats.WritebacksClean)
+	e.U64(t.stats.Thrash)
+	e.U64(t.stats.BytesIn)
+	e.U64(t.stats.BytesOut)
+	e.U64(t.stats.MetaCycles)
+}
+
+// LoadState restores state saved by SaveState into a tier built from
+// the same configuration.
+func (t *Tier) LoadState(d *snapshot.Decoder) {
+	if pb := d.U64(); pb != t.cfg.PageBytes {
+		d.Failf("hostmem: snapshot page size %d, config %d", pb, t.cfg.PageBytes)
+		return
+	}
+	if fr := d.Int(); fr != t.cfg.Frames {
+		d.Failf("hostmem: snapshot frames %d, config %d", fr, t.cfg.Frames)
+		return
+	}
+	if np := d.Int(); np != t.numPages {
+		d.Failf("hostmem: snapshot pages %d, config %d", np, t.numPages)
+		return
+	}
+	t.seq = d.U64()
+	t.busyUntil = d.U64()
+	t.resident = d.Int()
+	st := d.Bytes()
+	if d.Err() != nil {
+		return
+	}
+	if len(st) != t.numPages {
+		d.Failf("hostmem: state length %d, want %d", len(st), t.numPages)
+		return
+	}
+	for i, b := range st {
+		t.state[i] = pageState(b)
+	}
+	db := d.Bytes()
+	if d.Err() != nil {
+		return
+	}
+	if len(db) != t.numPages {
+		d.Failf("hostmem: dirty length %d, want %d", len(db), t.numPages)
+		return
+	}
+	for i, b := range db {
+		t.dirty[i] = b != 0
+	}
+	for i := range t.stamp {
+		t.stamp[i] = d.U64()
+	}
+	for i := range t.admitAt {
+		t.admitAt[i] = d.U64()
+	}
+	n := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if n < 0 || n > len(t.ring) {
+		d.Failf("hostmem: ring length %d, cap %d", n, len(t.ring))
+		return
+	}
+	t.ringHead = 0
+	t.ringLen = n
+	for i := 0; i < n; i++ {
+		t.ring[i] = migration{page: d.Int(), faultAt: d.U64(), ready: d.U64()}
+	}
+	t.stats = Stats{
+		Faults:          d.U64(),
+		Replays:         d.U64(),
+		MigrationsIn:    d.U64(),
+		Evictions:       d.U64(),
+		WritebacksDirty: d.U64(),
+		WritebacksClean: d.U64(),
+		Thrash:          d.U64(),
+		BytesIn:         d.U64(),
+		BytesOut:        d.U64(),
+		MetaCycles:      d.U64(),
+	}
+}

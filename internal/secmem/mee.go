@@ -372,6 +372,29 @@ func (m *MEE) HostOverwrite(lo, hi memdef.Addr) {
 	}
 }
 
+// MigrationOverwrite models a UVM page fault-in under full metadata
+// rebuild: the migrated range is re-encrypted with fresh counters, so —
+// exactly as with a host copy — the touched regions lose their
+// read-only status and the profiling oracle forgets them. It returns
+// the number of RO transitions instead of bumping the registry: the
+// caller runs on the per-cycle tick path, where the registry's map
+// insert is off-limits, and accumulates the count for end-of-run merge.
+func (m *MEE) MigrationOverwrite(lo, hi memdef.Addr) uint64 {
+	if !m.cfg.Enabled || hi <= lo {
+		return 0
+	}
+	var transitions uint64
+	for a := memdef.RegionAddr(lo); a < hi; a += memdef.RegionSize {
+		if m.roPred.OnWrite(a) {
+			transitions++
+		}
+		if m.roOracle != nil {
+			delete(m.roOracle, uint64(a)/m.cfg.ReadOnly.RegionBytes)
+		}
+	}
+	return transitions
+}
+
 // CanAccept reports whether SubmitRead/SubmitWrite would succeed.
 func (m *MEE) CanAccept() bool { return m.input.Len() < m.cfg.InputQueue }
 

@@ -79,6 +79,7 @@ func WritePrometheus(w io.Writer, c *Collector, sum RunSummary, m Manifest) erro
 		writeHistogram(&b, "shmgpu_mee_read_latency_cycles", "MEE submit-to-response read latency in cycles.", &c.MEEReadLatency)
 		writeHistogram(&b, "shmgpu_dram_service_latency_cycles", "DRAM sector service latency in cycles.", &c.DRAMServiceLatency)
 		writeHistogram(&b, "shmgpu_dram_queue_depth", "DRAM channel queue depth at enqueue.", &c.DRAMQueueDepth)
+		writeHistogram(&b, "shmgpu_uvm_migration_latency_cycles", "UVM fault-to-resident page migration latency in cycles.", &c.UVMMigrationLatency)
 	}
 
 	_, err := io.WriteString(w, b.String())

@@ -90,6 +90,7 @@ func (c *Collector) SaveState(e *snapshot.Encoder) {
 	c.DRAMQueueDepth.saveState(e)
 	c.DRAMServiceLatency.saveState(e)
 	c.MEEReadLatency.saveState(e)
+	c.UVMMigrationLatency.saveState(e)
 	e.Int(len(c.events))
 	for i := range c.events {
 		saveEvent(e, &c.events[i])
@@ -125,6 +126,7 @@ func (c *Collector) LoadState(d *snapshot.Decoder) error {
 	c.DRAMQueueDepth.loadState(d)
 	c.DRAMServiceLatency.loadState(d)
 	c.MEEReadLatency.loadState(d)
+	c.UVMMigrationLatency.loadState(d)
 	nEvents := d.Len()
 	if err := d.Err(); err != nil {
 		return err

@@ -59,6 +59,18 @@ const (
 	// EvMonitorSkip is an access to an unmonitored chunk while every
 	// tracker was busy.
 	EvMonitorSkip
+	// EvPageFault is a crossbar admission attempt that hit a
+	// host-resident page and started a migration (UVM host tier).
+	EvPageFault
+	// EvPageMigrateIn is a completed host-to-device page migration.
+	// Value is the fault-to-resident latency in cycles.
+	EvPageMigrateIn
+	// EvPageEvict is a device page dropped to the host tier. Class: 0
+	// clean, 1 dirty (writeback charged to the link).
+	EvPageEvict
+	// EvPageThrash is an eviction of a page admitted within the
+	// configured thrash window (refault churn indicator).
+	EvPageThrash
 
 	numEventKinds
 )
@@ -81,6 +93,10 @@ var kindNames = [...]string{
 	EvDetection:     "detection",
 	EvMonitorArm:    "monitor_arm",
 	EvMonitorSkip:   "monitor_skip",
+	EvPageFault:     "page_fault",
+	EvPageMigrateIn: "page_migrate_in",
+	EvPageEvict:     "page_evict",
+	EvPageThrash:    "page_thrash",
 }
 
 // String returns the export name of the event kind.
@@ -162,6 +178,9 @@ type Collector struct {
 	DRAMServiceLatency Histogram
 	// MEEReadLatency observes MEE submit-to-response read latency.
 	MEEReadLatency Histogram
+	// UVMMigrationLatency observes fault-to-resident page migration
+	// latency (UVM host tier).
+	UVMMigrationLatency Histogram
 
 	events  []Event
 	dropped uint64
@@ -203,6 +222,8 @@ func (c *Collector) Emit(e Event) {
 		c.DRAMServiceLatency.Observe(e.Value)
 	case EvMEEReadDone:
 		c.MEEReadLatency.Observe(e.Value)
+	case EvPageMigrateIn:
+		c.UVMMigrationLatency.Observe(e.Value)
 	}
 	if c.cfg.CaptureEvents && captureWorthy[e.Kind] {
 		if len(c.events) < c.cfg.MaxEvents {

@@ -1,18 +1,11 @@
 package shmgpu_test
 
 import (
-	"bytes"
 	"fmt"
 	"testing"
-)
 
-// runShards executes one (workload, scheme, seed) cell under the sharded
-// parallel engine (shards > 0) or the sequential reference (shards = 0),
-// with fast-forward on or off, and returns the full artifact set.
-func runShards(t *testing.T, workload, scheme string, seed int64, shards int, disableFF bool) ffArtifacts {
-	t.Helper()
-	return runCell(t, workload, scheme, seed, shards, disableFF)
-}
+	"shmgpu/internal/testutil"
+)
 
 // TestParallelMatchesSequential is the shard-engine equivalence gate: over
 // a corpus of (workload, scheme, seed) cells crossed with shard counts and
@@ -48,22 +41,51 @@ func TestParallelMatchesSequential(t *testing.T) {
 			// One sequential reference per (cell, fast-forward mode) serves
 			// every shard count — the reference is deterministic, so rerunning
 			// it per shard count would only burn CI minutes.
-			seq := runShards(t, c.workload, c.scheme, c.seed, 0, disableFF)
+			seq := testutil.RunCell(t, c.workload, c.scheme, c.seed, 0, disableFF)
 			for _, shards := range c.shards {
 				c, shards, disableFF := c, shards, disableFF
 				t.Run(fmt.Sprintf("%s_%s_seed%d_shards%d_ff%v", c.workload, c.scheme, c.seed, shards, !disableFF), func(t *testing.T) {
-					par := runShards(t, c.workload, c.scheme, c.seed, shards, disableFF)
-					if par.result != seq.result {
-						t.Errorf("Result diverges:\nparallel:   %s\nsequential: %s", par.result, seq.result)
-					}
-					if !bytes.Equal(par.snapshot, seq.snapshot) {
-						t.Errorf("stats snapshots diverge:\nparallel:   %s\nsequential: %s", par.snapshot, seq.snapshot)
-					}
-					if !bytes.Equal(par.jsonl, seq.jsonl) {
-						t.Errorf("telemetry JSONL diverges (%d vs %d bytes)", len(par.jsonl), len(seq.jsonl))
-					}
+					par := testutil.RunCell(t, c.workload, c.scheme, c.seed, shards, disableFF)
+					testutil.AssertEqual(t, "parallel", par, "sequential", seq)
 				})
 			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialOversubscribed extends the shard gate to
+// the UVM host tier: page faults, replays, migration completions, and
+// the metadata teardown/rebuild they trigger all happen in sequential
+// tick phases (tier mutations only inside the SM-ordered drains and the
+// pre-drain tier tick), so an oversubscribed sharded run must stay
+// byte-identical to the sequential reference. The CI uvm-smoke job runs
+// this under -race, which also proves the tier is never touched
+// concurrently.
+func TestParallelMatchesSequentialOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus of full simulations; skipped in -short")
+	}
+	cells := []struct {
+		workload string
+		scheme   string
+		seed     int64
+		ratio    float64
+	}{
+		{"atax", "Baseline", 1, 0.5},
+		{"atax", "SHM", 1, 0.5},
+		{"bfs", "SHM", 2, 0.75},
+	}
+	for _, c := range cells {
+		cfg := oversubQuickConfig(c.ratio)
+		seq := testutil.RunCellCfg(t, cfg, c.workload, c.scheme, c.seed)
+		for _, shards := range []int{1, 4} {
+			c, shards := c, shards
+			t.Run(fmt.Sprintf("%s_%s_ratio%.2f_shards%d", c.workload, c.scheme, c.ratio, shards), func(t *testing.T) {
+				pcfg := oversubQuickConfig(c.ratio)
+				pcfg.ParallelShards = shards
+				par := testutil.RunCellCfg(t, pcfg, c.workload, c.scheme, c.seed)
+				testutil.AssertEqual(t, "parallel", par, "sequential", seq)
+			})
 		}
 	}
 }

@@ -223,9 +223,12 @@ func NewRunner(cfg Config, workloads []string) *Runner {
 type Table = report.Table
 
 // Figure regenerates one of the paper's figures/tables by identifier:
-// "5", "10", "11", "12", "13", "14", "15", "16", "vii", "ix", "summary".
+// "5", "10", "11", "12", "13", "14", "15", "16", "vii", "ix", "summary",
+// "oversub" (the heterogeneous-memory oversubscription sweep).
 func Figure(r *Runner, id string) (*Table, error) {
 	switch id {
+	case "oversub":
+		return r.FigOversub(), nil
 	case "5":
 		return r.Fig5(), nil
 	case "10":

@@ -71,7 +71,7 @@ func TestFigureGeneration(t *testing.T) {
 		t.Skip("simulation sweep")
 	}
 	r := NewRunner(QuickConfig(), []string{"atax"})
-	for _, id := range []string{"12", "14"} {
+	for _, id := range []string{"12", "14", "oversub"} {
 		tb, err := Figure(r, id)
 		if err != nil {
 			t.Fatalf("figure %s: %v", id, err)

@@ -17,6 +17,8 @@
 //	shmsim -workload fdtd2d -scheme SHM -quick -restore warm.snap
 //	shmsim -workload atax -scheme SHM -host-tier -oversub-ratio 0.5
 //	shmsim -workload atax -scheme SHM -host-tier -oversub-ratio 0.5 -migration-policy fifo -host-integrity hostside
+//	shmsim -workload streamcluster -scheme SHM -host-tier -oversub-ratio 0.5 -prefetch stream -batch-pages 8
+//	shmsim -workload atax -scheme SHM -host-tier -oversub-ratio 0.5 -prefetch stride -large-pages
 //	shmsim -list
 //
 // Exit codes: 0 on success, 1 on output/runtime errors, 2 on usage errors
@@ -72,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		pageBytes      = fs.Uint64("page-bytes", 0, "UVM migration page size in bytes (0 = the 64 KiB default; must be a power of two)")
 		migrationPol   = fs.String("migration-policy", "", "UVM eviction victim policy: lru (default) or fifo")
 		hostIntegrity  = fs.String("host-integrity", "", "security metadata handling across migrations: rebuild (default; MEE re-encrypts on fault-in) or hostside (host-managed, cheaper)")
+		prefetch       = fs.String("prefetch", "", "UVM migration-ahead policy: none (default), stride (per-fault-stream sequential stride detection), or stream (streaming-detector-driven bulk fetch with eager eviction)")
+		prefetchDegree = fs.Int("prefetch-degree", 0, "pages fetched ahead per prefetch trigger (0 = the hostmem default)")
+		batchPages     = fs.Int("batch-pages", 0, "max adjacent pages coalesced into one batched PCIe transaction (0 = the hostmem default)")
+		largePages     = fs.Bool("large-pages", false, "migrate at 2 MiB large-page granularity with 64 KiB sub-page dirty tracking (mutually exclusive with -page-bytes)")
 	)
 	var opsFlags obs.Flags
 	opsFlags.Register(fs)
@@ -113,8 +119,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		cfg.UVMPageBytes = *pageBytes
 		cfg.UVMMigrationPolicy = *migrationPol
 		cfg.UVMHostIntegrity = *hostIntegrity
-	} else if *oversubRatio != 0 || *pageBytes != 0 || *migrationPol != "" || *hostIntegrity != "" {
-		log.Errorf("-oversub-ratio, -page-bytes, -migration-policy and -host-integrity require -host-tier")
+		cfg.UVMPrefetch = *prefetch
+		cfg.UVMPrefetchDegree = *prefetchDegree
+		cfg.UVMBatchPages = *batchPages
+		cfg.UVMLargePages = *largePages
+	} else if *oversubRatio != 0 || *pageBytes != 0 || *migrationPol != "" || *hostIntegrity != "" ||
+		*prefetch != "" || *prefetchDegree != 0 || *batchPages != 0 || *largePages {
+		log.Errorf("-oversub-ratio, -page-bytes, -migration-policy, -host-integrity, -prefetch, -prefetch-degree, -batch-pages and -large-pages require -host-tier")
 		return 2
 	}
 	if err := cfg.Validate(); err != nil {

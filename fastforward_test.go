@@ -57,18 +57,36 @@ func TestFastForwardMatchesEveryCycle(t *testing.T) {
 // TestFastForwardMatchesEveryCycleOversubscribed extends the horizon gate
 // to the UVM host tier: with the working set oversubscribed, in-flight
 // page migrations join the event horizon (hostmem.Tier.NextEvent) and the
-// fault/replay retries must land on identical cycles in both modes.
+// fault/replay retries must land on identical cycles in both modes. The
+// prefetch cells additionally pin migration-ahead state — fault streams,
+// batched transfers, eager evictions — against cycle skipping: a prefetch
+// issued on a skipped-to cycle must land exactly where every-cycle
+// ticking would put it.
 func TestFastForwardMatchesEveryCycleOversubscribed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus of full simulations; skipped in -short")
 	}
-	for _, scheme := range []string{"Baseline", "SHM"} {
-		scheme := scheme
-		t.Run(scheme, func(t *testing.T) {
+	cells := []struct {
+		scheme   string
+		prefetch string
+	}{
+		{"Baseline", ""},
+		{"SHM", ""},
+		{"SHM", "stride"},
+		{"SHM", "stream"},
+	}
+	for _, c := range cells {
+		c := c
+		name := c.scheme
+		if c.prefetch != "" {
+			name += "_" + c.prefetch
+		}
+		t.Run(name, func(t *testing.T) {
 			cfg := oversubQuickConfig(0.5)
-			ff := testutil.RunCellCfg(t, cfg, "atax", scheme, 1)
+			cfg.UVMPrefetch = c.prefetch
+			ff := testutil.RunCellCfg(t, cfg, "atax", c.scheme, 1)
 			cfg.DisableFastForward = true
-			ref := testutil.RunCellCfg(t, cfg, "atax", scheme, 1)
+			ref := testutil.RunCellCfg(t, cfg, "atax", c.scheme, 1)
 			testutil.AssertEqual(t, "fast-forward", ff, "every-cycle", ref)
 		})
 	}

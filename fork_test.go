@@ -89,41 +89,54 @@ func TestForkMatchesScratch(t *testing.T) {
 // must reproduce the scratch run byte-for-byte. (Deterministic coverage
 // of serializing a non-empty migration ring lives in the hostmem unit
 // tests; here the fork points sample whatever in-flight state the real
-// run has at those cycles.)
+// run has at those cycles.) The stream-prefetch variant forks with
+// migration-ahead state live — fault-stream stride tables, prefetch
+// page states, eager-eviction stamps, and possibly a multi-page batch
+// mid-transfer — all of which must survive the snapshot round-trip.
 func TestForkMatchesScratchOversubscribed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus of full simulations; skipped in -short")
 	}
-	cfg := oversubQuickConfig(0.5)
-	probe, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
-	if err != nil {
-		t.Fatalf("probe run: %v", err)
-	}
-	specs := forkSpecsFor([]int{4})
-	for _, frac := range []struct {
-		name string
-		at   uint64
-	}{
-		{"early", probe.Cycles / 16},
-		{"steady", probe.Cycles / 2},
-	} {
-		frac := frac
-		if frac.at == 0 {
-			continue
+	for _, prefetch := range []string{"", "stream"} {
+		prefetch := prefetch
+		name := "demand"
+		if prefetch != "" {
+			name = prefetch
 		}
-		t.Run(frac.name, func(t *testing.T) {
-			results, cols, err := shmgpu.RunForkedSeeded(cfg, "atax", "SHM", 1, frac.at, testutil.QuickTelemetry(), specs)
+		t.Run(name, func(t *testing.T) {
+			cfg := oversubQuickConfig(0.5)
+			cfg.UVMPrefetch = prefetch
+			probe, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
 			if err != nil {
-				t.Fatalf("forked run: %v", err)
+				t.Fatalf("probe run: %v", err)
 			}
-			for i, spec := range specs {
-				scfg := cfg
-				scfg.ParallelShards = spec.Shards
-				scfg.DisableFastForward = spec.DisableFastForward
-				forked := testutil.Collect(t, cfg, "atax", "SHM", 1, results[i], cols[i])
-				scratch := testutil.RunCellCfg(t, scfg, "atax", "SHM", 1)
-				label := fmt.Sprintf("forked shards=%d ff=%v", spec.Shards, !spec.DisableFastForward)
-				testutil.AssertEqual(t, label, forked, "scratch", scratch)
+			specs := forkSpecsFor([]int{4})
+			for _, frac := range []struct {
+				name string
+				at   uint64
+			}{
+				{"early", probe.Cycles / 16},
+				{"steady", probe.Cycles / 2},
+			} {
+				frac := frac
+				if frac.at == 0 {
+					continue
+				}
+				t.Run(frac.name, func(t *testing.T) {
+					results, cols, err := shmgpu.RunForkedSeeded(cfg, "atax", "SHM", 1, frac.at, testutil.QuickTelemetry(), specs)
+					if err != nil {
+						t.Fatalf("forked run: %v", err)
+					}
+					for i, spec := range specs {
+						scfg := cfg
+						scfg.ParallelShards = spec.Shards
+						scfg.DisableFastForward = spec.DisableFastForward
+						forked := testutil.Collect(t, cfg, "atax", "SHM", 1, results[i], cols[i])
+						scratch := testutil.RunCellCfg(t, scfg, "atax", "SHM", 1)
+						label := fmt.Sprintf("forked shards=%d ff=%v", spec.Shards, !spec.DisableFastForward)
+						testutil.AssertEqual(t, label, forked, "scratch", scratch)
+					}
+				})
 			}
 		})
 	}

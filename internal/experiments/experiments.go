@@ -468,6 +468,18 @@ func oversubWorkloads(all []string) []string {
 	return out
 }
 
+// oversubPrefetchVariants are the migration-ahead policies the sweep runs
+// on top of the SHM design, each as its own table row. Demand-only SHM
+// stays in the scheme rows; these isolate what the prefetcher buys at the
+// same ratio.
+var oversubPrefetchVariants = []struct {
+	name   string // row label in the table
+	policy string // gpu.Config.UVMPrefetch value
+}{
+	{"SHM+stride", "stride"},
+	{"SHM+stream", "stream"},
+}
+
 // FigOversub reproduces the heterogeneous-memory extension study: IPC under
 // the host-backed tier at decreasing resident ratios, for the baseline and
 // every Fig. 12 design, normalized to the insecure tier-off run of the same
@@ -477,11 +489,19 @@ func oversubWorkloads(all []string) []string {
 // still report throughput (instructions over the budget), which is exactly
 // the degradation the sweep is after.
 //
+// Each ratio contributes two columns: normalized IPC (r=…) and the demand
+// fault count (f=…), so the migration-ahead rows (SHM+stride, SHM+stream —
+// the SHM design with the tier's prefetcher enabled) show both effects at
+// once: fewer faults and the IPC they buy back. Their "resident" cell
+// reuses the SHM tier-off run — at ratio >= 1 every prefetch policy is
+// provably idle, so the runs are byte-identical.
+//
 // Ratio cells run on per-ratio sub-runners (the cache key is only
-// workload/scheme, so each ratio needs its own cache); the tier-off cells
-// come from the parent runner and are shared with the other figures. The
-// sub-runners are deliberately unobserved — their cell names would collide
-// with the parent's in the ops plane and the per-run telemetry dumps.
+// workload/scheme, so each ratio and each prefetch policy needs its own
+// cache); the tier-off cells come from the parent runner and are shared
+// with the other figures. The sub-runners are deliberately unobserved —
+// their cell names would collide with the parent's in the ops plane and
+// the per-run telemetry dumps.
 func (r *Runner) FigOversub() *report.Table {
 	schemes := append([]scheme.Scheme{scheme.Baseline}, fig12Schemes()...)
 	wls := oversubWorkloads(r.workloads)
@@ -493,10 +513,23 @@ func (r *Runner) FigOversub() *report.Table {
 		cfg.OversubRatio = ratio
 		subs[i] = NewRunner(cfg, wls)
 	}
+	// psubs[variant][ratio]: the SHM-only migration-ahead sweeps.
+	psubs := make([][]*Runner, len(oversubPrefetchVariants))
+	for pi, pv := range oversubPrefetchVariants {
+		psubs[pi] = make([]*Runner, len(oversubRatios))
+		for i, ratio := range oversubRatios {
+			cfg := r.cfg
+			cfg.HostTier = true
+			cfg.OversubRatio = ratio
+			cfg.UVMPrefetch = pv.policy
+			psubs[pi][i] = NewRunner(cfg, wls)
+		}
+	}
 
 	// One pool over every cell the table needs — the parent's tier-off
 	// cells (restricted to the sweep subset; shared with the other figures
-	// through the parent cache) and all three ratio sweeps.
+	// through the parent cache), all three ratio sweeps, and the prefetch
+	// variants (SHM only).
 	var tasks []func(worker int)
 	for _, wl := range wls {
 		for _, sch := range schemes {
@@ -505,6 +538,12 @@ func (r *Runner) FigOversub() *report.Table {
 			for _, sub := range subs {
 				sub := sub
 				tasks = append(tasks, func(worker int) { sub.runOn(worker, wl, sch, false) })
+			}
+		}
+		for pi := range oversubPrefetchVariants {
+			for _, sub := range psubs[pi] {
+				wl, sub := wl, sub
+				tasks = append(tasks, func(worker int) { sub.runOn(worker, wl, scheme.SHM, false) })
 			}
 		}
 	}
@@ -521,14 +560,18 @@ func (r *Runner) FigOversub() *report.Table {
 
 	cols := []string{"benchmark", "scheme", "resident"}
 	for _, ratio := range oversubRatios {
-		cols = append(cols, fmt.Sprintf("r=%.2f", ratio))
+		cols = append(cols, fmt.Sprintf("r=%.2f", ratio), fmt.Sprintf("f=%.2f", ratio))
 	}
-	t := report.NewTable("Oversubscription sweep: normalized IPC with the host-backed tier", cols...)
+	t := report.NewTable("Oversubscription sweep: normalized IPC and demand faults with the host-backed tier", cols...)
 
-	sums := make([][]float64, len(schemes)) // [scheme][1+ratio]
+	nRows := len(schemes) + len(oversubPrefetchVariants)
+	sums := make([][]float64, nRows)   // [row][1+ratio] normalized IPC
+	fsums := make([]([]uint64), nRows) // [row][ratio] faults
 	for i := range sums {
 		sums[i] = make([]float64, 1+len(oversubRatios))
+		fsums[i] = make([]uint64, len(oversubRatios))
 	}
+	rowNames := make([]string, nRows)
 	for _, wl := range wls {
 		base := r.Run(wl, scheme.Baseline)
 		norm := func(res gpu.Result) float64 {
@@ -537,23 +580,36 @@ func (r *Runner) FigOversub() *report.Table {
 			}
 			return res.IPC() / base.IPC()
 		}
-		for si, sch := range schemes {
-			row := []interface{}{wl, sch.Name}
-			n := norm(r.Run(wl, sch))
-			sums[si][0] += n
-			row = append(row, n)
+		addRow := func(idx int, name string, resident float64, cell func(ri int) gpu.Result) {
+			rowNames[idx] = name
+			sums[idx][0] += resident
+			row := []interface{}{wl, name, resident}
 			for ri := range oversubRatios {
-				n := norm(subs[ri].Run(wl, sch))
-				sums[si][1+ri] += n
-				row = append(row, n)
+				res := cell(ri)
+				n := norm(res)
+				faults := res.Reg.Get("uvm_faults")
+				sums[idx][1+ri] += n
+				fsums[idx][ri] += faults
+				row = append(row, n, faults)
 			}
 			t.AddRow(row...)
 		}
+		for si, sch := range schemes {
+			sch := sch
+			addRow(si, sch.Name, norm(r.Run(wl, sch)), func(ri int) gpu.Result { return subs[ri].Run(wl, sch) })
+			if sch == scheme.SHM {
+				for pi, pv := range oversubPrefetchVariants {
+					pi := pi
+					addRow(len(schemes)+pi, pv.name, norm(r.Run(wl, scheme.SHM)),
+						func(ri int) gpu.Result { return psubs[pi][ri].Run(wl, scheme.SHM) })
+				}
+			}
+		}
 	}
-	for si, sch := range schemes {
-		avg := []interface{}{"average", sch.Name}
-		for _, sum := range sums[si] {
-			avg = append(avg, sum/float64(len(wls)))
+	for idx, name := range rowNames {
+		avg := []interface{}{"average", name, sums[idx][0] / float64(len(wls))}
+		for ri := range oversubRatios {
+			avg = append(avg, sums[idx][1+ri]/float64(len(wls)), fsums[idx][ri]/uint64(len(wls)))
 		}
 		t.AddRow(avg...)
 	}

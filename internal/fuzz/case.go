@@ -81,6 +81,14 @@ type ConfigSpec struct {
 	UVMPageKB   int  `json:"uvm_page_kb,omitempty"`
 	UVMFIFO     bool `json:"uvm_fifo,omitempty"`
 	UVMHostSide bool `json:"uvm_hostside,omitempty"`
+	// UVMPrefetch selects the migration-ahead policy ("" = demand-only;
+	// "stride" or "stream"); UVMBatchPages caps coalesced migration batch
+	// size; UVMLargePage switches to 2 MiB pages with sub-page dirty
+	// tracking (it overrides UVMPageKB — the two are mutually exclusive
+	// in gpu.Config).
+	UVMPrefetch   string `json:"uvm_prefetch,omitempty"`
+	UVMBatchPages int    `json:"uvm_batch,omitempty"`
+	UVMLargePage  bool   `json:"uvm_large_page,omitempty"`
 
 	// MEE / detector knobs, applied through Config.MEETune.
 	MDCacheBytes   int    `json:"mdc_bytes,omitempty"`
@@ -209,13 +217,19 @@ func (c Case) GPUConfig() gpu.Config {
 	if s.OversubPct > 0 {
 		cfg.HostTier = true
 		cfg.OversubRatio = float64(s.OversubPct) / 100
-		cfg.UVMPageBytes = uint64(orInt(s.UVMPageKB, baseUVMPageKB)) << 10
+		if s.UVMLargePage {
+			cfg.UVMLargePages = true
+		} else {
+			cfg.UVMPageBytes = uint64(orInt(s.UVMPageKB, baseUVMPageKB)) << 10
+		}
 		if s.UVMFIFO {
 			cfg.UVMMigrationPolicy = "fifo"
 		}
 		if s.UVMHostSide {
 			cfg.UVMHostIntegrity = "hostside"
 		}
+		cfg.UVMPrefetch = s.UVMPrefetch
+		cfg.UVMBatchPages = s.UVMBatchPages
 	}
 	if s.needsMEETune() {
 		s := s // capture the spec, not the loop/receiver variable

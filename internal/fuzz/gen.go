@@ -108,14 +108,25 @@ func Generate(rng *rand.Rand) Case {
 	}
 	// UVM host tier: ratios straddling the fit boundary (100% exactly is
 	// the migration-equivalence edge), small pages so tiny working sets
-	// still span several, both eviction policies and integrity modes.
+	// still span several, both eviction policies and integrity modes,
+	// and the migration-ahead knobs (prefetch policy, batch cap, large
+	// pages — which override the explicit page size; the two are
+	// mutually exclusive in gpu.Config).
 	if chance(rng, 0.35) {
 		s.OversubPct = pick(rng, 25, 50, 75, 100, 150)
-		if chance(rng, 0.5) {
+		if chance(rng, 0.15) {
+			s.UVMLargePage = true
+		} else if chance(rng, 0.5) {
 			s.UVMPageKB = pick(rng, 4, 16, 64)
 		}
 		s.UVMFIFO = chance(rng, 0.3)
 		s.UVMHostSide = chance(rng, 0.3)
+		if chance(rng, 0.5) {
+			s.UVMPrefetch = []string{"stride", "stream"}[rng.Intn(2)]
+			if chance(rng, 0.4) {
+				s.UVMBatchPages = pick(rng, 2, 4, 8)
+			}
+		}
 	}
 
 	// --- workload ---

@@ -22,7 +22,7 @@ type Violation struct {
 	// Oracle names the violated property ("ff-equivalence",
 	// "parallel-equivalence", "fork-equivalence", "determinism",
 	// "sanitizer-transparency", "detector-ablation",
-	// "migration-equivalence", "metamorphic-ipc",
+	// "migration-equivalence", "prefetch-equivalence", "metamorphic-ipc",
 	// "metamorphic-metadata", "conservation", "invariant").
 	Oracle string `json:"oracle"`
 	// Scheme is the design under which the violation surfaced.
@@ -392,6 +392,24 @@ func CheckCaseOpts(c Case, opts CheckOptions) ([]Violation, error) {
 			off = bareArts
 		}
 		vs = append(vs, diffArtifacts("migration-equivalence", det, "host-tier(ratio>=1.0)", "host-tier-off", on, off)...)
+
+		// Prefetch equivalence: at ratio ≥ 1.0 the tier never faults, no
+		// fault streams form, and every migration-ahead policy must be
+		// provably idle — byte-identical artifacts versus the tier being
+		// off, for each policy in turn. This pins the idle-at-fit half of
+		// the prefetcher contract for every generated cell, including the
+		// batch-size and large-page variants the cell happens to carry.
+		for _, pol := range []string{"stride", "stream"} {
+			pf := c
+			pf.Config.OversubPct = 100
+			pf.Config.UVMPrefetch = pol
+			pfArts, _, err := pf.runArtifacts(opts.Obs, det, detSch.Options, false, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			vs = append(vs, diffArtifacts("prefetch-equivalence", det,
+				"prefetch="+pol+"(ratio>=1.0)", "host-tier-off", pfArts, off)...)
+		}
 	}
 
 	// Detector ablation: SHM options with both adaptive mechanisms

@@ -188,6 +188,7 @@ func candidates(c Case) []Case {
 		{s.MEEIssue, func(s *ConfigSpec, v int) { s.MEEIssue = v }},
 		{s.OversubPct, func(s *ConfigSpec, v int) { s.OversubPct = v }},
 		{s.UVMPageKB, func(s *ConfigSpec, v int) { s.UVMPageKB = v }},
+		{s.UVMBatchPages, func(s *ConfigSpec, v int) { s.UVMBatchPages = v }},
 	} {
 		f := f
 		if f.val != 0 {
@@ -205,6 +206,12 @@ func candidates(c Case) []Case {
 	}
 	if s.UVMHostSide {
 		tryC(func(s *ConfigSpec) { s.UVMHostSide = false })
+	}
+	if s.UVMLargePage {
+		tryC(func(s *ConfigSpec) { s.UVMLargePage = false })
+	}
+	if s.UVMPrefetch != "" {
+		tryC(func(s *ConfigSpec) { s.UVMPrefetch = "" })
 	}
 
 	// Seed and name cosmetics last: a failure that survives a seed swap

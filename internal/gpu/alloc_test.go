@@ -76,7 +76,7 @@ func (p *fixedWarp) Next() (int, MemInst, bool) {
 // reach capacity during warm-up, not grow per tick).
 // oversub > 0 additionally enables the UVM host tier at that ratio, so
 // the measured ticks cover the fault/replay/migration path too.
-func steadyState(t *testing.T, opts secmem.Options, shards int, oversub float64) *System {
+func steadyState(t *testing.T, opts secmem.Options, shards int, oversub float64, prefetch string) *System {
 	t.Helper()
 	cfg := smallConfig()
 	cfg.ParallelShards = shards
@@ -84,6 +84,7 @@ func steadyState(t *testing.T, opts secmem.Options, shards int, oversub float64)
 		cfg.HostTier = true
 		cfg.OversubRatio = oversub
 		cfg.UVMPCIeBytesPerCycle = 256
+		cfg.UVMPrefetch = prefetch
 	}
 	wl := &fixedWorkload{bufBytes: 40 << 20, compute: 4, insts: 20_000}
 	s := NewSystem(cfg, opts)
@@ -124,31 +125,39 @@ func TestTickSteadyStateAllocFree(t *testing.T) {
 		shards   int
 		observed bool
 		oversub  float64
+		prefetch string
 	}{
-		{"Baseline", secmem.Options{}, 0, false, 0},
-		{"Naive", secmem.Options{Enabled: true}, 0, false, 0},
-		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0, false, 0},
-		{"SHM", shmOpts, 0, false, 0},
+		{"Baseline", secmem.Options{}, 0, false, 0, ""},
+		{"Naive", secmem.Options{Enabled: true}, 0, false, 0, ""},
+		{"PSSM", secmem.Options{Enabled: true, LocalMetadata: true, SectoredMetadata: true}, 0, false, 0, ""},
+		{"SHM", shmOpts, 0, false, 0, ""},
 		// The sharded engine must be allocation-free too: shard scratch
 		// (outboxes, horizons, pool batches) is preallocated, not per-tick.
-		{"Baseline/shards=4", secmem.Options{}, 4, false, 0},
-		{"SHM/shards=4", shmOpts, 4, false, 0},
+		{"Baseline/shards=4", secmem.Options{}, 4, false, 0, ""},
+		{"SHM/shards=4", shmOpts, 4, false, 0, ""},
 		// The live ops plane must honour the same contract: a progress
 		// heartbeat is one comparison per tick plus an atomic store per
 		// interval, never an allocation.
-		{"SHM/observed", shmOpts, 0, true, 0},
+		{"SHM/observed", shmOpts, 0, true, 0, ""},
 		// The UVM host tier is preallocated at construction: neither the
 		// non-faulting admit path (ratio ≥ 1.0, everything resident) nor
 		// the fault/replay/eviction/migration machinery itself (ratio
 		// 0.5, faulting throughout the measurement) may allocate, under
 		// either engine.
-		{"SHM/oversub-fit", shmOpts, 0, false, 1.5},
-		{"SHM/oversub=0.5", shmOpts, 0, false, 0.5},
-		{"SHM/oversub=0.5/shards=4", shmOpts, 4, false, 0.5},
+		{"SHM/oversub-fit", shmOpts, 0, false, 1.5, ""},
+		{"SHM/oversub=0.5", shmOpts, 0, false, 0.5, ""},
+		{"SHM/oversub=0.5/shards=4", shmOpts, 4, false, 0.5, ""},
+		// The migration-ahead engine reuses the same preallocated
+		// structures: fault-stream tables are fixed arrays, prefetch
+		// candidates coalesce into the existing migration ring, and the
+		// lazy eviction heap is sized at construction — prefetching on
+		// the hot path must not allocate either.
+		{"SHM/oversub=0.5/stride", shmOpts, 0, false, 0.5, "stride"},
+		{"SHM/oversub=0.5/stream", shmOpts, 0, false, 0.5, "stream"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := steadyState(t, tc.opts, tc.shards, tc.oversub)
+			s := steadyState(t, tc.opts, tc.shards, tc.oversub, tc.prefetch)
 			if tc.observed {
 				p, err := obs.Start(obs.Options{Tool: "alloc-test"})
 				if err != nil {

@@ -112,6 +112,25 @@ type Config struct {
 	// UVMPCIeLatency and UVMPCIeBytesPerCycle override the modeled
 	// migration link (0 = hostmem defaults).
 	UVMPCIeLatency, UVMPCIeBytesPerCycle uint64
+	// UVMPrefetch selects the migration-ahead policy: "none" (default,
+	// purely demand-driven), "stride" (per-fault-stream sequential
+	// stride detection), or "stream" (the paper's streaming-detector
+	// classification drives bulk fetch-ahead with eager eviction). At
+	// OversubRatio >= 1 no faults occur, so every policy is provably
+	// idle and results stay byte-identical to HostTier=false.
+	UVMPrefetch string
+	// UVMPrefetchDegree is how many pages one prefetch trigger fetches
+	// ahead (0 = hostmem default).
+	UVMPrefetchDegree int
+	// UVMBatchPages caps how many adjacent pages coalesce into one
+	// batched PCIe transaction, paying link latency and metadata
+	// re-establishment once per batch (0 = hostmem default).
+	UVMBatchPages int
+	// UVMLargePages switches migration granularity to 2 MiB large pages
+	// with 64 KiB sub-page dirty tracking, so writebacks transfer only
+	// the sub-pages actually written. Mutually exclusive with
+	// UVMPageBytes.
+	UVMLargePages bool
 }
 
 // DefaultConfig returns the paper's baseline GPU (Table V), with a device
@@ -172,6 +191,15 @@ func (c Config) Validate() error {
 		}
 		if _, err := hostmem.ParseIntegrity(c.UVMHostIntegrity); err != nil {
 			return err
+		}
+		if _, err := hostmem.ParsePrefetch(c.UVMPrefetch); err != nil {
+			return err
+		}
+		if c.UVMLargePages && c.UVMPageBytes != 0 {
+			return fmt.Errorf("gpu: UVMLargePages and UVMPageBytes %d are mutually exclusive", c.UVMPageBytes)
+		}
+		if c.UVMPrefetchDegree < 0 || c.UVMBatchPages < 0 {
+			return fmt.Errorf("gpu: UVMPrefetchDegree and UVMBatchPages must be non-negative")
 		}
 	}
 	return c.DRAM.Validate()

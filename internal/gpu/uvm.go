@@ -68,7 +68,16 @@ func (s *System) startUVM(wl Workload) {
 	if err != nil {
 		panic(err)
 	}
+	prefetch, err := hostmem.ParsePrefetch(s.cfg.UVMPrefetch)
+	if err != nil {
+		panic(err)
+	}
 	pageBytes := s.cfg.UVMPageBytes
+	var subPageBytes uint64
+	if s.cfg.UVMLargePages {
+		pageBytes = hostmem.LargePageBytes
+		subPageBytes = hostmem.DefaultSubPageBytes
+	}
 	if pageBytes == 0 {
 		pageBytes = hostmem.DefaultPageBytes
 	}
@@ -84,6 +93,10 @@ func (s *System) startUVM(wl Workload) {
 		Integrity:         integrity,
 		PCIeLatency:       s.cfg.UVMPCIeLatency,
 		PCIeBytesPerCycle: s.cfg.UVMPCIeBytesPerCycle,
+		Prefetch:          prefetch,
+		PrefetchDegree:    s.cfg.UVMPrefetchDegree,
+		BatchPages:        s.cfg.UVMBatchPages,
+		SubPageBytes:      subPageBytes,
 	}, ws)
 	if err != nil {
 		panic(err)
@@ -91,7 +104,33 @@ func (s *System) startUVM(wl Workload) {
 	u := &uvmState{sys: s, tier: tier, rebuild: integrity == hostmem.IntegrityRebuild}
 	tier.OnFaultIn = u.onFaultIn
 	tier.OnEvict = u.onEvict
+	if prefetch != hostmem.PrefetchNone {
+		tier.OnPrefetch = u.onPrefetch
+	}
+	if prefetch == hostmem.PrefetchStream {
+		tier.Classify = u.classifyStreaming
+	}
 	s.uvm = u
+}
+
+// classifyStreaming bridges the tier's stream-prefetch policy to the
+// paper's streaming detector: a page counts as streaming when the
+// partition-0 MEE's predictor (oracle preload or trained bit vector;
+// preloads and truth ranges are identical across partitions) classifies
+// the page's first chunk as streaming. Called only on demand faults.
+func (u *uvmState) classifyStreaming(page int) bool {
+	lo, hi := u.tier.PageRange(page)
+	llo, _ := u.sys.pmap.LocalRange(memdef.Addr(lo), memdef.Addr(hi))
+	return u.sys.mees[0].PredictStreaming(llo)
+}
+
+// onPrefetch fires from tier.Access when a migration batch carrying
+// prefetched pages is issued; the batch-size sample feeds the
+// coalescing histogram.
+func (u *uvmState) onPrefetch(page, pages int) {
+	if tele := u.sys.tele; tele != nil {
+		tele.Emit(telemetry.Event{Cycle: u.sys.tickNow, Kind: telemetry.EvPagePrefetch, Part: -1, Value: uint64(pages)})
+	}
 }
 
 // admit gates one crossbar admission attempt on page residency. False
@@ -187,6 +226,21 @@ func (u *uvmState) mergeInto(res *Result) {
 	}
 	if st.MetaCycles != 0 {
 		res.Reg.Add("uvm_meta_cycles", st.MetaCycles)
+	}
+	if st.Prefetches != 0 {
+		res.Reg.Add("uvm_prefetches", st.Prefetches)
+	}
+	if st.PrefUseful != 0 {
+		res.Reg.Add("uvm_pref_useful", st.PrefUseful)
+	}
+	if st.PrefLate != 0 {
+		res.Reg.Add("uvm_pref_late", st.PrefLate)
+	}
+	if st.PrefUseless != 0 {
+		res.Reg.Add("uvm_pref_useless", st.PrefUseless)
+	}
+	if st.Batches != 0 {
+		res.Reg.Add("uvm_batches", st.Batches)
 	}
 	if u.roTransitions != 0 {
 		res.Reg.Add("uvm_ro_transitions", u.roTransitions)

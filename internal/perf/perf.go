@@ -47,6 +47,12 @@ type Baseline struct {
 	GoVersion     string `json:"go_version"`
 	GOOS          string `json:"goos"`
 	GOARCH        string `json:"goarch"`
+	// NumCPU and GOMAXPROCS describe the machine the numbers were taken
+	// on; wall times from a 1-CPU runner and a 16-core workstation are
+	// not comparable, so the baseline states which it was. (Both are
+	// omitted from pre-existing files; 0 means "not recorded".)
+	NumCPU     int `json:"num_cpu,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Quick records whether the scaled-down configuration was used.
 	Quick bool `json:"quick"`
 	// TotalWallNs is the wall time of the whole sweep, including cells.
@@ -64,6 +70,8 @@ func New(quick bool) *Baseline {
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Quick:         quick,
 	}
 }
@@ -130,6 +138,9 @@ func ReadFile(path string) (*Baseline, error) {
 func (b *Baseline) FormatGoBench() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "goos: %s\ngoarch: %s\n", b.GOOS, b.GOARCH)
+	if b.NumCPU > 0 {
+		fmt.Fprintf(&sb, "cpu: %d logical CPUs, GOMAXPROCS=%d\n", b.NumCPU, b.GOMAXPROCS)
+	}
 	for _, bm := range b.Benchmarks {
 		name := bm.Name
 		if !strings.HasPrefix(name, "Benchmark") {

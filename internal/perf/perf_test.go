@@ -46,6 +46,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if got.SchemaVersion != SchemaVersion || !got.Quick || got.TotalWallNs != 12345 {
 		t.Errorf("round trip lost header fields: %+v", got)
 	}
+	if got.NumCPU != b.NumCPU || got.GOMAXPROCS != b.GOMAXPROCS || got.NumCPU == 0 {
+		t.Errorf("round trip lost CPU fields: NumCPU=%d GOMAXPROCS=%d, want %d/%d (nonzero)",
+			got.NumCPU, got.GOMAXPROCS, b.NumCPU, b.GOMAXPROCS)
+	}
 	if len(got.Benchmarks) != 1 || got.Benchmarks[0] != b.Benchmarks[0] {
 		t.Errorf("round trip lost benchmarks: %+v", got.Benchmarks)
 	}
@@ -72,6 +76,9 @@ func TestFormatGoBench(t *testing.T) {
 	}
 	if !strings.HasPrefix(out, "goos: ") {
 		t.Errorf("FormatGoBench missing goos header:\n%s", out)
+	}
+	if !strings.Contains(out, "cpu: ") || !strings.Contains(out, "GOMAXPROCS=") {
+		t.Errorf("FormatGoBench missing cpu header:\n%s", out)
 	}
 }
 

@@ -589,6 +589,26 @@ func (m *MEE) isStreaming(r memdef.Request) bool {
 	return m.stPred.Predict(r.Local)
 }
 
+// PredictStreaming reports the streaming classification this MEE would
+// apply to a local chunk address: the oracle preload when present,
+// otherwise the trained bit-vector predictor. False when the
+// dual-granularity MAC mechanism (which owns the streaming detector) is
+// disabled. The UVM stream-prefetch policy consumes this to decide
+// which faulting pages are migrated ahead in bulk.
+func (m *MEE) PredictStreaming(local memdef.Addr) bool {
+	if !m.cfg.DualGranMAC {
+		return false
+	}
+	if m.stOracle != nil {
+		s, ok := m.stOracle[uint64(local)/m.cfg.Streaming.ChunkBytes]
+		if !ok {
+			return true // eager default, like the bit vector
+		}
+		return s
+	}
+	return m.stPred.Predict(local)
+}
+
 // metaAddrFor returns the base address used for metadata derivation: local
 // under PSSM addressing, physical otherwise.
 func (m *MEE) metaAddrFor(r memdef.Request) memdef.Addr {

@@ -14,7 +14,9 @@ import (
 // every incompatible change to any serialized layout; ReadFile rejects
 // other versions with ErrVersion so a stale binary can never misparse a
 // newer snapshot (or vice versa) into silently wrong simulator state.
-const FormatVersion = 1
+// Version 2: hostmem tier gained prefetch/batch/sub-page state and the
+// telemetry collector a prefetch batch-size histogram.
+const FormatVersion = 2
 
 // magic identifies a shmgpu snapshot file.
 var magic = [8]byte{'S', 'H', 'M', 'S', 'N', 'A', 'P', 0}

@@ -80,6 +80,7 @@ func WritePrometheus(w io.Writer, c *Collector, sum RunSummary, m Manifest) erro
 		writeHistogram(&b, "shmgpu_dram_service_latency_cycles", "DRAM sector service latency in cycles.", &c.DRAMServiceLatency)
 		writeHistogram(&b, "shmgpu_dram_queue_depth", "DRAM channel queue depth at enqueue.", &c.DRAMQueueDepth)
 		writeHistogram(&b, "shmgpu_uvm_migration_latency_cycles", "UVM fault-to-resident page migration latency in cycles.", &c.UVMMigrationLatency)
+		writeHistogram(&b, "shmgpu_uvm_prefetch_batch_pages", "UVM prefetcher migration batch size in pages.", &c.UVMPrefetchBatch)
 	}
 
 	_, err := io.WriteString(w, b.String())

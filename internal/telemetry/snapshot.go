@@ -91,6 +91,7 @@ func (c *Collector) SaveState(e *snapshot.Encoder) {
 	c.DRAMServiceLatency.saveState(e)
 	c.MEEReadLatency.saveState(e)
 	c.UVMMigrationLatency.saveState(e)
+	c.UVMPrefetchBatch.saveState(e)
 	e.Int(len(c.events))
 	for i := range c.events {
 		saveEvent(e, &c.events[i])
@@ -127,6 +128,7 @@ func (c *Collector) LoadState(d *snapshot.Decoder) error {
 	c.DRAMServiceLatency.loadState(d)
 	c.MEEReadLatency.loadState(d)
 	c.UVMMigrationLatency.loadState(d)
+	c.UVMPrefetchBatch.loadState(d)
 	nEvents := d.Len()
 	if err := d.Err(); err != nil {
 		return err

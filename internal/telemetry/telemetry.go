@@ -71,6 +71,10 @@ const (
 	// EvPageThrash is an eviction of a page admitted within the
 	// configured thrash window (refault churn indicator).
 	EvPageThrash
+	// EvPagePrefetch is a migration batch issued ahead of demand by the
+	// UVM prefetcher. Value is the batch size in pages (1 for a
+	// non-adjacent strided prefetch).
+	EvPagePrefetch
 
 	numEventKinds
 )
@@ -97,6 +101,7 @@ var kindNames = [...]string{
 	EvPageMigrateIn: "page_migrate_in",
 	EvPageEvict:     "page_evict",
 	EvPageThrash:    "page_thrash",
+	EvPagePrefetch:  "page_prefetch",
 }
 
 // String returns the export name of the event kind.
@@ -181,6 +186,9 @@ type Collector struct {
 	// UVMMigrationLatency observes fault-to-resident page migration
 	// latency (UVM host tier).
 	UVMMigrationLatency Histogram
+	// UVMPrefetchBatch observes the size in pages of every migration
+	// batch the UVM prefetcher issues (coalesced PCIe transactions).
+	UVMPrefetchBatch Histogram
 
 	events  []Event
 	dropped uint64
@@ -224,6 +232,8 @@ func (c *Collector) Emit(e Event) {
 		c.MEEReadLatency.Observe(e.Value)
 	case EvPageMigrateIn:
 		c.UVMMigrationLatency.Observe(e.Value)
+	case EvPagePrefetch:
+		c.UVMPrefetchBatch.Observe(e.Value)
 	}
 	if c.cfg.CaptureEvents && captureWorthy[e.Kind] {
 		if len(c.events) < c.cfg.MaxEvents {

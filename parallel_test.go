@@ -70,18 +70,30 @@ func TestParallelMatchesSequentialOversubscribed(t *testing.T) {
 		scheme   string
 		seed     int64
 		ratio    float64
+		prefetch string
 	}{
-		{"atax", "Baseline", 1, 0.5},
-		{"atax", "SHM", 1, 0.5},
-		{"bfs", "SHM", 2, 0.75},
+		{"atax", "Baseline", 1, 0.5, ""},
+		{"atax", "SHM", 1, 0.5, ""},
+		{"bfs", "SHM", 2, 0.75, ""},
+		// Migration-ahead cells: prefetch decisions, batch coalescing,
+		// and eager evictions are made during the sequential tier tick,
+		// so sharding must not reorder them.
+		{"atax", "SHM", 1, 0.5, "stride"},
+		{"atax", "SHM", 1, 0.5, "stream"},
 	}
 	for _, c := range cells {
 		cfg := oversubQuickConfig(c.ratio)
+		cfg.UVMPrefetch = c.prefetch
 		seq := testutil.RunCellCfg(t, cfg, c.workload, c.scheme, c.seed)
 		for _, shards := range []int{1, 4} {
 			c, shards := c, shards
-			t.Run(fmt.Sprintf("%s_%s_ratio%.2f_shards%d", c.workload, c.scheme, c.ratio, shards), func(t *testing.T) {
+			name := fmt.Sprintf("%s_%s_ratio%.2f_shards%d", c.workload, c.scheme, c.ratio, shards)
+			if c.prefetch != "" {
+				name += "_" + c.prefetch
+			}
+			t.Run(name, func(t *testing.T) {
 				pcfg := oversubQuickConfig(c.ratio)
+				pcfg.UVMPrefetch = c.prefetch
 				pcfg.ParallelShards = shards
 				par := testutil.RunCellCfg(t, pcfg, c.workload, c.scheme, c.seed)
 				testutil.AssertEqual(t, "parallel", par, "sequential", seq)

@@ -184,3 +184,90 @@ func TestNoPhantomAccesses(t *testing.T) {
 		t.Errorf("oversubscribed run took %d cycles vs %d tier-off; migration stalls must cost time", over.Cycles, off.Cycles)
 	}
 }
+
+// TestPrefetchFitByteIdentical extends the migration-equivalence gate to
+// every migration-ahead configuration: at ratio ≥ 1.0 no access faults,
+// so no fault streams ever form, no prefetch is ever issued, and batching
+// and large-page granularity have nothing to transfer — every policy and
+// knob combination must stay byte-identical to the tier-off run. This is
+// the "prefetcher provably idle at fit" anchor the fuzz
+// prefetch-equivalence oracle generalizes.
+func TestPrefetchFitByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	variants := []struct {
+		name string
+		mut  func(*shmgpu.Config)
+	}{
+		{"stride", func(c *shmgpu.Config) { c.UVMPrefetch = "stride" }},
+		{"stream", func(c *shmgpu.Config) { c.UVMPrefetch = "stream" }},
+		{"stride_batch4", func(c *shmgpu.Config) { c.UVMPrefetch = "stride"; c.UVMBatchPages = 4 }},
+		{"stream_largepage", func(c *shmgpu.Config) { c.UVMPrefetch = "stream"; c.UVMLargePages = true }},
+	}
+	off := testutil.RunCell(t, "atax", "SHM", 1, 0, false)
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cfg := oversubQuickConfig(1.0)
+			v.mut(&cfg)
+			on := testutil.RunCellCfg(t, cfg, "atax", "SHM", 1)
+			testutil.AssertEqual(t, "prefetch(fit)", on, "host-tier-off", off)
+		})
+	}
+}
+
+// TestPrefetchClosesCliff is the efficacy gate for the migration-ahead
+// engine: on a streaming workload at ratio 0.5, stream-aware prefetching
+// must issue prefetches, coalesce batches, and convert demand faults into
+// ahead-of-access arrivals — strictly fewer faults and strictly higher
+// IPC than the demand-only tier. Stride prefetching must do the same
+// without the classifier.
+func TestPrefetchClosesCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	base := oversubQuickConfig(0.5)
+	base.MaxCycles = 1_000_000
+	demand, err := shmgpu.RunSeeded(base, "atax", "SHM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandFaults, _ := counter(demand, "uvm_faults")
+	if demandFaults == 0 {
+		t.Fatal("demand-only reference did not fault; cliff test needs an oversubscribed cell")
+	}
+	for _, policy := range []string{"stride", "stream"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			cfg := base
+			cfg.UVMPrefetch = policy
+			res, err := shmgpu.RunSeeded(cfg, "atax", "SHM", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatalf("prefetch run did not complete in %d cycles", res.Cycles)
+			}
+			prefetches, _ := counter(res, "uvm_prefetches")
+			if prefetches == 0 {
+				t.Fatal("uvm_prefetches = 0; the streaming workload must trigger the prefetcher")
+			}
+			batches, _ := counter(res, "uvm_batches")
+			if batches == 0 {
+				t.Error("uvm_batches = 0; sequential prefetches must coalesce into multi-page transfers")
+			}
+			useful, _ := counter(res, "uvm_pref_useful")
+			if useful == 0 {
+				t.Error("uvm_pref_useful = 0; prefetched pages must be touched before eviction")
+			}
+			faults, _ := counter(res, "uvm_faults")
+			if faults >= demandFaults {
+				t.Errorf("uvm_faults = %d, want < demand-only %d", faults, demandFaults)
+			}
+			if res.IPC() <= demand.IPC() {
+				t.Errorf("IPC = %.4f, want > demand-only %.4f", res.IPC(), demand.IPC())
+			}
+		})
+	}
+}
